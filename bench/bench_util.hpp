@@ -1,0 +1,159 @@
+// Shared helpers for the table/figure harnesses: fixed-width table printing
+// and the standard measurement loops (worst measured convergence factor over
+// schedulers/seeds, rounds until a spread target, etc.).
+//
+// Every bench binary prints a self-contained, labeled table so that
+// `for b in build/bench/*; do $b; done` regenerates the full evaluation.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/rate_meter.hpp"
+#include "core/epsilon_driver.hpp"
+
+namespace apxa::bench {
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& r) {
+      std::printf("|");
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell = c < r.size() ? r[c] : std::string{};
+        std::printf(" %-*s |", static_cast<int>(width[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::printf("%s|", std::string(width[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
+
+/// Worst (minimum) sustained and per-round factors for a live run of the
+/// given protocol over the given schedulers and seeds, on binary-split
+/// inputs (the extremal family).
+struct MeasuredRate {
+  double sustained_min = 0.0;
+  double per_round_min = 0.0;
+  bool measurable = false;
+};
+
+inline MeasuredRate measure_worst_rate(core::RunConfig base, Round horizon,
+                                       const std::vector<core::SchedKind>& scheds,
+                                       std::uint32_t seeds) {
+  std::vector<analysis::RateSummary> all;
+  base.mode = core::TerminationMode::kLive;
+  base.fixed_rounds = horizon;
+  for (const auto sched : scheds) {
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      core::RunConfig cfg = base;
+      cfg.sched = sched;
+      cfg.seed = seed;
+      const auto rep = core::run_async(cfg);
+      all.push_back(analysis::summarize_rates(rep.spread_by_round));
+    }
+  }
+  const auto w = analysis::worst_of(all);
+  return MeasuredRate{w.sustained, w.per_round_min, w.measurable};
+}
+
+/// Input families the adversary chooses from: every rule has a different
+/// worst case (mean suffers at the n/2 split, midpoint/select rules near the
+/// edges, stride-based rules sometimes on the ramp).
+inline std::vector<std::vector<double>> adversarial_input_families(
+    SystemParams p, double lo, double hi) {
+  std::vector<std::vector<double>> fams;
+  for (std::uint32_t hi_count :
+       {1u, std::max(1u, p.t), p.n / 2, p.n - p.t - 1, p.n - 1}) {
+    if (hi_count == 0 || hi_count >= p.n) continue;
+    fams.push_back(core::split_inputs(p.n, hi_count, lo, hi));
+  }
+  fams.push_back(core::linear_inputs(p.n, lo, hi));
+  return fams;
+}
+
+/// Worst measured rate over the adversarial input families above.  Runs that
+/// converge instantly on some family are fine as long as one family yields a
+/// measurable rate.
+inline MeasuredRate measure_worst_rate_over_inputs(
+    core::RunConfig base, Round horizon, const std::vector<core::SchedKind>& scheds,
+    std::uint32_t seeds) {
+  MeasuredRate worst;
+  for (auto& inputs : adversarial_input_families(base.params, 0.0, 1.0)) {
+    core::RunConfig cfg = base;
+    cfg.inputs = std::move(inputs);
+    const auto m = measure_worst_rate(cfg, horizon, scheds, seeds);
+    if (!m.measurable) continue;
+    if (!worst.measurable || m.sustained_min < worst.sustained_min) worst = m;
+  }
+  return worst;
+}
+
+/// Rounds until the observed correct-party spread first drops to <= target,
+/// worst case over the given schedulers and seeds.  Returns horizon+1 when a
+/// run never got there.
+inline Round measure_rounds_to_spread(core::RunConfig base, Round horizon,
+                                      double target,
+                                      const std::vector<core::SchedKind>& scheds,
+                                      std::uint32_t seeds) {
+  Round worst = 0;
+  base.mode = core::TerminationMode::kLive;
+  base.fixed_rounds = horizon;
+  for (const auto sched : scheds) {
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      core::RunConfig cfg = base;
+      cfg.sched = sched;
+      cfg.seed = seed;
+      const auto rep = core::run_async(cfg);
+      Round got = horizon + 1;
+      for (std::size_t r = 0; r < rep.spread_by_round.size(); ++r) {
+        if (rep.spread_by_round[r] <= target) {
+          got = static_cast<Round>(r);
+          break;
+        }
+      }
+      worst = std::max(worst, got);
+    }
+  }
+  return worst;
+}
+
+}  // namespace apxa::bench

@@ -1,0 +1,98 @@
+// F2 — Convergence factor as a function of n/t.
+//
+// The Theta(n/t) separation: the crash-model mean rule's factor grows
+// linearly in n/t (both analytically and in measured executions), while the
+// byzantine-tolerant protocols sit near constant factors.
+#include <cstdio>
+
+#include "analysis/worst_case.hpp"
+#include "bench_util.hpp"
+#include "core/bounds.hpp"
+#include "core/epsilon_driver.hpp"
+
+int main() {
+  using namespace apxa;
+  using namespace apxa::core;
+
+  std::printf(
+      "F2 — factor K vs n/t.  series: rule; columns: n, t, n/t, predicted,\n"
+      "analytic, measured (random/greedy/clique schedulers x 4 seeds).\n\n");
+  std::printf("series,n,t,ratio,predicted,analytic,measured\n");
+
+  const std::vector<SchedKind> scheds{SchedKind::kRandom, SchedKind::kGreedySplit,
+                                      SchedKind::kClique};
+
+  auto measure = [&](ProtocolKind kind, SystemParams p, Averager avg) {
+    RunConfig cfg;
+    cfg.params = p;
+    cfg.protocol = kind;
+    cfg.averager = avg;
+    if (kind != ProtocolKind::kCrashRound) {
+      for (std::uint32_t i = 0; i < p.t; ++i) {
+        adversary::ByzSpec s;
+        s.who = i;
+        s.kind = adversary::ByzKind::kSpoiler;
+        s.seed = i + 1;
+        cfg.byz.push_back(s);
+      }
+    }
+    const auto m = bench::measure_worst_rate_over_inputs(cfg, 5, scheds, 4);
+    return m.measurable ? m.sustained_min : 0.0;
+  };
+
+  // Crash mean: t = 1, 2, 3 with growing n.
+  for (std::uint32_t t : {1u, 2u, 3u}) {
+    for (std::uint32_t ratio = 4; ratio <= 16; ratio += 3) {
+      const std::uint32_t n = ratio * t;
+      const SystemParams p{n, t};
+      analysis::WorstCaseQuery q;
+      q.params = p;
+      q.averager = Averager::kMean;
+      std::printf("crash-mean(t=%u),%u,%u,%.1f,%.3f,%.3f,%.3f\n", t, n, t,
+                  static_cast<double>(n) / t,
+                  predicted_factor_crash_async_mean(n, t),
+                  analysis::worst_one_round_factor(q).worst_factor,
+                  measure(ProtocolKind::kCrashRound, p, Averager::kMean));
+    }
+  }
+
+  // Midpoint stays flat.
+  for (std::uint32_t ratio = 4; ratio <= 16; ratio += 3) {
+    const std::uint32_t n = ratio;
+    const SystemParams p{n, 1};
+    analysis::WorstCaseQuery q;
+    q.params = p;
+    q.averager = Averager::kMidpoint;
+    std::printf("crash-midpoint(t=1),%u,1,%.1f,%.3f,%.3f,%.3f\n", n,
+                static_cast<double>(n),
+                predicted_factor_midpoint(),
+                analysis::worst_one_round_factor(q).worst_factor,
+                measure(ProtocolKind::kCrashRound, p, Averager::kMidpoint));
+  }
+
+  // DLPSW async (needs n > 5t): grows slowly past the boundary.
+  for (std::uint32_t n : {6u, 8u, 11u, 16u, 21u, 26u}) {
+    const SystemParams p{n, 1};
+    analysis::WorstCaseQuery q;
+    q.params = p;
+    q.averager = Averager::kDlpswAsync;
+    q.byz_count = 1;
+    std::printf("byz-dlpsw(t=1),%u,1,%.1f,%.3f,%.3f,%.3f\n", n,
+                static_cast<double>(n), predicted_factor_dlpsw_async(n, 1),
+                analysis::worst_one_round_factor(q).worst_factor,
+                measure(ProtocolKind::kByzRound, p, Averager::kDlpswAsync));
+  }
+
+  // Witness pins 2.
+  for (std::uint32_t n : {4u, 7u, 10u, 16u}) {
+    const std::uint32_t t = (n - 1) / 3;
+    const SystemParams p{n, t};
+    std::printf("witness,%u,%u,%.1f,%.3f,-,%.3f\n", n, t,
+                static_cast<double>(n) / t, predicted_factor_witness(),
+                measure(ProtocolKind::kWitness, p, Averager::kReduceMidpoint));
+  }
+
+  std::printf(
+      "\nExpected shape: crash-mean grows linearly in n/t; the others are flat.\n");
+  return 0;
+}

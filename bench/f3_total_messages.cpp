@@ -1,0 +1,73 @@
+// F3 — Total communication for eps-agreement vs n (log-log slopes 2 vs 3).
+//
+// Each protocol runs to eps = 1e-3 with unit initial spread, rounds budgeted
+// from its own factor.  The crash-model round protocol needs fewer rounds as
+// n grows (factor (n-t)/t) AND only n^2 messages per round; the witness
+// technique pays n^3 per iteration at a fixed factor 2.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/async_byz.hpp"
+#include "core/bounds.hpp"
+
+int main() {
+  using namespace apxa;
+  using namespace apxa::core;
+
+  std::printf(
+      "F3 — Total messages and bits to reach eps = 1e-3 (S = 1, fault-free).\n\n");
+  std::printf("series,n,t,rounds,total_msgs,total_bits\n");
+
+  const double eps = 1e-3;
+
+  for (std::uint32_t n : {4u, 7u, 10u, 16u, 25u, 40u, 61u}) {
+    const std::uint32_t t = std::max(1u, (n - 1) / 3);
+    const SystemParams p{n, t};
+    RunConfig cfg;
+    cfg.params = p;
+    cfg.protocol = ProtocolKind::kCrashRound;
+    cfg.epsilon = eps;
+    cfg.inputs = linear_inputs(n, 0.0, 1.0);
+    cfg.fixed_rounds = rounds_needed(1.0, eps, predicted_factor_crash_async_mean(n, t));
+    const auto rep = run_async(cfg);
+    std::printf("crash-mean,%u,%u,%u,%llu,%llu\n", n, t, cfg.fixed_rounds,
+                static_cast<unsigned long long>(rep.metrics.messages_sent),
+                static_cast<unsigned long long>(rep.metrics.payload_bits()));
+  }
+
+  for (std::uint32_t n : {6u, 11u, 16u, 26u, 41u, 61u}) {
+    const std::uint32_t t = std::max(1u, (n - 1) / 5);
+    const SystemParams p{n, t};
+    RunConfig cfg;
+    cfg.params = p;
+    cfg.protocol = ProtocolKind::kByzRound;
+    cfg.epsilon = eps;
+    cfg.inputs = linear_inputs(n, 0.0, 1.0);
+    cfg.fixed_rounds = rounds_needed(1.0, eps, predicted_factor_dlpsw_async(n, t));
+    const auto rep = run_async(cfg);
+    std::printf("byz-dlpsw,%u,%u,%u,%llu,%llu\n", n, t, cfg.fixed_rounds,
+                static_cast<unsigned long long>(rep.metrics.messages_sent),
+                static_cast<unsigned long long>(rep.metrics.payload_bits()));
+  }
+
+  for (std::uint32_t n : {4u, 7u, 10u, 16u, 25u, 40u}) {
+    const std::uint32_t t = std::max(1u, (n - 1) / 3);
+    const SystemParams p{n, t};
+    RunConfig cfg;
+    cfg.params = p;
+    cfg.protocol = ProtocolKind::kWitness;
+    cfg.epsilon = eps;
+    cfg.inputs = linear_inputs(n, 0.0, 1.0);
+    cfg.fixed_rounds = rounds_needed(1.0, eps, predicted_factor_witness());
+    const auto rep = run_async(cfg);
+    std::printf("witness,%u,%u,%u,%llu,%llu\n", n, t, cfg.fixed_rounds,
+                static_cast<unsigned long long>(rep.metrics.messages_sent),
+                static_cast<unsigned long long>(rep.metrics.payload_bits()));
+  }
+
+  std::printf(
+      "\nExpected shape (log-log vs n): crash-mean slope <= 2 (rounds shrink as\n"
+      "n/t grows), witness slope 3; crossover makes the witness protocol an\n"
+      "order of magnitude costlier by n ~ 40.\n");
+  return 0;
+}

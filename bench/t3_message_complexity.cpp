@@ -1,0 +1,66 @@
+// T3 — Message and bit complexity per round/iteration vs n.
+//
+// Round-based protocols move Theta(n^2) messages per round; the witness
+// technique pays Theta(n^3) (n parallel Bracha broadcasts of Theta(n^2) each,
+// plus n^2 witness reports of Theta(n) bits).  The msgs/n^2 and msgs/n^3
+// columns make the scaling exponent visible directly.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/epsilon_driver.hpp"
+
+namespace {
+
+apxa::core::RunReport one_round(apxa::core::RunConfig cfg, apxa::Round rounds) {
+  cfg.fixed_rounds = rounds;
+  return apxa::core::run_async(cfg);
+}
+
+}  // namespace
+
+int main() {
+  using namespace apxa;
+  using namespace apxa::core;
+
+  std::printf(
+      "T3 — Communication per round/iteration (fault-free, random scheduler).\n\n");
+  bench::Table tab({"protocol", "n", "t", "msgs/round", "bits/round", "msgs/n^2",
+                    "msgs/n^3"});
+
+  const Round kRounds = 3;
+  for (std::uint32_t n : {4u, 7u, 10u, 16u, 25u, 40u, 61u}) {
+    const std::uint32_t t = (n - 1) / 3;
+    RunConfig cfg;
+    cfg.params = {n, std::max(1u, t)};
+    cfg.protocol = ProtocolKind::kCrashRound;
+    cfg.inputs = linear_inputs(n, 0.0, 1.0);
+    const auto rep = one_round(cfg, kRounds);
+    const double msgs = static_cast<double>(rep.metrics.messages_sent) / kRounds;
+    const double bits = static_cast<double>(rep.metrics.payload_bits()) / kRounds;
+    tab.add_row({"async-crash/round", std::to_string(n),
+                 std::to_string(cfg.params.t), bench::fmt(msgs, 0),
+                 bench::fmt(bits, 0), bench::fmt(msgs / (double(n) * n), 3),
+                 bench::fmt(msgs / (double(n) * n * n), 4)});
+  }
+
+  for (std::uint32_t n : {4u, 7u, 10u, 16u, 25u, 40u}) {
+    const std::uint32_t t = std::max(1u, (n - 1) / 3);
+    RunConfig cfg;
+    cfg.params = {n, t};
+    cfg.protocol = ProtocolKind::kWitness;
+    cfg.inputs = linear_inputs(n, 0.0, 1.0);
+    const auto rep = one_round(cfg, kRounds);
+    const double msgs = static_cast<double>(rep.metrics.messages_sent) / kRounds;
+    const double bits = static_cast<double>(rep.metrics.payload_bits()) / kRounds;
+    tab.add_row({"async-byz/witness", std::to_string(n), std::to_string(t),
+                 bench::fmt(msgs, 0), bench::fmt(bits, 0),
+                 bench::fmt(msgs / (double(n) * n), 3),
+                 bench::fmt(msgs / (double(n) * n * n), 4)});
+  }
+  tab.print();
+  std::printf(
+      "\nExpected shape: msgs/n^2 is flat (~1 per round) for the round-based\n"
+      "protocol and grows ~n for the witness technique, whose msgs/n^3 is flat —\n"
+      "the quadratic-vs-cubic gap the follow-on work traded for resilience.\n");
+  return 0;
+}

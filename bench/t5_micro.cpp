@@ -1,0 +1,96 @@
+// T5 — Substrate microbenchmarks (google-benchmark).
+//
+// Raw costs of the building blocks: averaging rules, codec, simulator event
+// loop, reliable broadcast, and the analytic worst-case search.
+#include <benchmark/benchmark.h>
+
+#include "analysis/worst_case.hpp"
+#include "common/rng.hpp"
+#include "core/bounds.hpp"
+#include "core/codec.hpp"
+#include "core/epsilon_driver.hpp"
+#include "core/multiset_ops.hpp"
+
+namespace {
+
+using namespace apxa;
+using namespace apxa::core;
+
+void BM_ApplyAverager(benchmark::State& state) {
+  const auto avg = static_cast<Averager>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  Rng rng(1);
+  std::vector<double> values(m);
+  for (auto& v : values) v = rng.next_double();
+  for (auto _ : state) {
+    auto copy = values;
+    benchmark::DoNotOptimize(apply_averager(avg, std::move(copy), 3));
+  }
+}
+BENCHMARK(BM_ApplyAverager)
+    ->Args({static_cast<int>(Averager::kMean), 64})
+    ->Args({static_cast<int>(Averager::kMean), 1024})
+    ->Args({static_cast<int>(Averager::kDlpswAsync), 64})
+    ->Args({static_cast<int>(Averager::kDlpswAsync), 1024});
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  const RoundMsg m{123456, 0.123456789, 42};
+  for (auto _ : state) {
+    const auto bytes = encode_round(m);
+    benchmark::DoNotOptimize(decode_round(bytes));
+  }
+}
+BENCHMARK(BM_CodecRoundTrip);
+
+void BM_SimRoundProtocol(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t t = std::max(1u, (n - 1) / 3);
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.params = {n, t};
+    cfg.protocol = ProtocolKind::kCrashRound;
+    cfg.inputs = linear_inputs(n, 0.0, 1.0);
+    cfg.fixed_rounds = 4;
+    const auto rep = run_async(cfg);
+    msgs += rep.metrics.messages_sent;
+    benchmark::DoNotOptimize(rep.outputs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(msgs));
+  state.SetLabel("items = messages simulated");
+}
+BENCHMARK(BM_SimRoundProtocol)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_WitnessIteration(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t t = std::max(1u, (n - 1) / 3);
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.params = {n, t};
+    cfg.protocol = ProtocolKind::kWitness;
+    cfg.inputs = linear_inputs(n, 0.0, 1.0);
+    cfg.fixed_rounds = 1;
+    const auto rep = run_async(cfg);
+    msgs += rep.metrics.messages_sent;
+    benchmark::DoNotOptimize(rep.outputs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(msgs));
+  state.SetLabel("items = messages simulated");
+}
+BENCHMARK(BM_WitnessIteration)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_WorstCaseSearch(benchmark::State& state) {
+  analysis::WorstCaseQuery q;
+  q.params = {static_cast<std::uint32_t>(state.range(0)),
+              std::max(1u, static_cast<std::uint32_t>(state.range(0)) / 4)};
+  q.averager = Averager::kMean;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::worst_one_round_factor(q));
+  }
+}
+BENCHMARK(BM_WorstCaseSearch)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Clock synchronization via repeated approximate agreement.
+//
+// The second classic motivation (DLPSW 1986; Welch-Lynch): replicas hold
+// drifting clock offsets and periodically run approximate agreement to pull
+// them back together.  Between synchronization epochs each clock drifts by a
+// bounded amount; each epoch runs a few asynchronous rounds of the crash-
+// model protocol.  The steady-state skew is governed by the convergence
+// factor: with the mean rule (K = (n-t)/t), ONE round per epoch suffices to
+// keep the skew bounded as long as drift-per-epoch < (K - 1) x skew-target.
+//
+//   $ ./clock_sync
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/async_byz.hpp"
+#include "core/epsilon_driver.hpp"
+
+int main() {
+  using namespace apxa;
+  using namespace apxa::core;
+
+  const SystemParams params{10, 3};
+  const double drift_per_epoch = 2.0;  // ms of divergence accumulated per epoch
+  const int epochs = 12;
+
+  Rng rng(2026);
+  std::vector<double> offsets(params.n);
+  for (auto& o : offsets) o = rng.next_double(-25.0, 25.0);  // initial chaos
+
+  std::printf(
+      "Clock sync: n = %u replicas, t = %u, 1 agreement round per epoch,\n"
+      "+-%.1f ms random drift per epoch.\n\n",
+      params.n, params.t, drift_per_epoch);
+  std::printf("epoch | skew before | skew after agreement\n");
+  std::printf("------+-------------+---------------------\n");
+
+  for (int e = 0; e < epochs; ++e) {
+    // Drift.
+    for (auto& o : offsets) o += rng.next_double(-drift_per_epoch, drift_per_epoch);
+    std::vector<double> sorted = offsets;
+    std::sort(sorted.begin(), sorted.end());
+    const double before = sorted.back() - sorted.front();
+
+    // One asynchronous agreement round under an adversarial scheduler.
+    RunConfig cfg;
+    cfg.params = params;
+    cfg.protocol = ProtocolKind::kCrashRound;
+    cfg.averager = Averager::kMean;
+    cfg.fixed_rounds = 1;
+    cfg.inputs = offsets;
+    cfg.sched = SchedKind::kGreedySplit;
+    cfg.seed = static_cast<std::uint64_t>(e) + 1;
+    const auto rep = run_async(cfg);
+
+    // Adopt the agreed offsets (correct parties; in this run nobody crashes).
+    offsets = rep.outputs;
+    sorted = offsets;
+    std::sort(sorted.begin(), sorted.end());
+    const double after = sorted.back() - sorted.front();
+    std::printf("%5d | %9.3f ms | %9.3f ms\n", e, before, after);
+  }
+
+  std::printf(
+      "\nTakeaway: each round divides the skew by ~(n-t)/t = %.2f, so the\n"
+      "steady-state skew settles near drift x t/(n-t-...) — approximate\n"
+      "agreement as a clock-synchronization primitive.\n",
+      static_cast<double>(params.n - params.t) / params.t);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Rendezvous: a drone swarm agrees on a 2-D meeting point.
+//
+// The classic multidimensional approximate-agreement motivation: each drone
+// proposes a rendezvous coordinate; up to t drones may drop out mid-protocol
+// (crash faults, possibly half-way through a multicast); the survivors must
+// pick points within eps of each other, inside the bounding box of the
+// proposals, over an asynchronous radio network.
+//
+//   $ ./rendezvous
+#include <cstdio>
+
+#include "core/async_byz.hpp"
+#include "core/bounds.hpp"
+#include "core/multidim.hpp"
+
+int main() {
+  using namespace apxa;
+  using namespace apxa::core;
+
+  const SystemParams params{9, 3};
+  const double eps = 0.5;  // half a meter is plenty for a rendezvous
+
+  MultiDimConfig cfg;
+  cfg.params = params;
+  cfg.dim = 2;
+  cfg.epsilon = eps;
+  cfg.averager = Averager::kMean;
+  cfg.sched = SchedKind::kGreedySplit;  // hostile radio conditions
+  // Proposed meeting points (x, y) in meters.
+  cfg.inputs = {{12.0, 40.0}, {15.5, 38.2}, {11.1, 45.0}, {90.0, 42.0},
+                {13.7, 41.3}, {14.2, 39.8}, {12.9, 44.1}, {16.0, 40.7},
+                {13.3, 43.5}};
+  cfg.fixed_rounds = rounds_for_bound(128.0, eps, cfg.averager, params);
+
+  // Three drones lose power mid-flight, one of them mid-multicast.
+  Rng rng(99);
+  cfg.crashes = {
+      adversary::partial_multicast_crash(params, 3, 1, {0, 1}),  // the outlier!
+      adversary::CrashSpec{6, 2 * (params.n - 1) + 4, {}},
+      adversary::CrashSpec{8, 0, {}},  // dead on arrival
+  };
+
+  const MultiDimReport rep = run_multidim(cfg);
+
+  std::printf("drone rendezvous (n = %u, t = %u, eps = %.1f m):\n\n", params.n,
+              params.t, eps);
+  std::printf("  %-10s %-12s\n", "drone", "target (x, y)");
+  for (std::size_t i = 0; i < rep.outputs.size(); ++i) {
+    std::printf("  #%-9zu (%.3f, %.3f)\n", i, rep.outputs[i][0], rep.outputs[i][1]);
+  }
+  std::printf("\n  worst pairwise distance : %.4f m (Linf)\n", rep.worst_linf_gap);
+  std::printf("  inside proposal box     : %s\n", rep.box_validity_ok ? "yes" : "NO");
+  std::printf("  rounds x messages       : %u x %llu\n", cfg.fixed_rounds,
+              static_cast<unsigned long long>(rep.metrics.messages_sent));
+  std::printf("  agreement               : %s\n",
+              rep.agreement_ok ? "reached" : "FAILED");
+
+  std::printf(
+      "\nNote how drone 3's far-away proposal (90, 42) pulls the rendezvous\n"
+      "only within the box — and that it crashing mid-multicast cannot split\n"
+      "the survivors.\n");
+  return rep.agreement_ok && rep.box_validity_ok ? 0 : 1;
+}

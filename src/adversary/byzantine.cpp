@@ -1,0 +1,119 @@
+#include "adversary/byzantine.hpp"
+
+#include <algorithm>
+
+#include "core/codec.hpp"
+
+namespace apxa::adversary {
+
+using core::encode_round;
+using core::RoundMsg;
+
+ByzRoundProcess::ByzRoundProcess(ByzSpec spec) : spec_(spec), rng_(spec.seed) {}
+
+void ByzRoundProcess::on_start(net::Context& ctx) { emit_round(ctx, 0); }
+
+void ByzRoundProcess::on_message(net::Context& ctx, ProcessId from, BytesView payload) {
+  (void)from;
+  const auto m = core::decode_round(payload);
+  if (!m) return;
+  if (!seen_any_) {
+    seen_lo_ = seen_hi_ = m->value;
+    seen_any_ = true;
+  } else {
+    seen_lo_ = std::min(seen_lo_, m->value);
+    seen_hi_ = std::max(seen_hi_, m->value);
+  }
+  // Learn that round r (and, implicitly, r+1 which honest parties will enter)
+  // exists; attack both.
+  emit_round(ctx, m->round);
+  emit_round(ctx, m->round + 1);
+}
+
+void ByzRoundProcess::emit_round(net::Context& ctx, Round r) {
+  if (spec_.kind == ByzKind::kSilent) return;
+  if (r >= spec_.max_instances) return;
+  if (!emitted_.insert(r).second) return;
+
+  const auto n = ctx.params().n;
+  const std::uint32_t budget = spec_.inflate_budget;
+
+  for (ProcessId to = 0; to < n; ++to) {
+    if (to == ctx.self()) continue;
+    double v = 0.0;
+    switch (spec_.kind) {
+      case ByzKind::kSilent:
+        return;
+      case ByzKind::kExtremeLow:
+        v = spec_.lo;
+        break;
+      case ByzKind::kExtremeHigh:
+        v = spec_.hi;
+        break;
+      case ByzKind::kEquivocate:
+        v = (to < n / 2) ? spec_.lo : spec_.hi;
+        break;
+      case ByzKind::kSpoiler: {
+        const double lo = seen_any_ ? seen_lo_ : spec_.lo;
+        const double hi = seen_any_ ? seen_hi_ : spec_.hi;
+        const double width = std::max(1e-12, hi - lo);
+        v = (to < n / 2) ? lo - spec_.amplify * width : hi + spec_.amplify * width;
+        break;
+      }
+      case ByzKind::kNoise:
+        v = rng_.next_double(spec_.lo, spec_.hi);
+        break;
+    }
+    ctx.send(to, encode_round(RoundMsg{r, v, budget}));
+  }
+}
+
+ByzWitnessProcess::ByzWitnessProcess(ByzSpec spec) : spec_(spec), rng_(spec.seed) {}
+
+void ByzWitnessProcess::on_start(net::Context& ctx) { emit_iteration(ctx, 0); }
+
+void ByzWitnessProcess::on_message(net::Context& ctx, ProcessId from, BytesView payload) {
+  (void)from;
+  std::uint32_t iter = 0;
+  if (const auto rb = core::decode_rb(payload)) {
+    iter = rb->instance;
+  } else if (const auto rep = core::decode_report(payload)) {
+    iter = rep->iter;
+  } else {
+    return;
+  }
+  emit_iteration(ctx, iter);
+  emit_iteration(ctx, iter + 1);
+}
+
+void ByzWitnessProcess::emit_iteration(net::Context& ctx, std::uint32_t iter) {
+  if (spec_.kind == ByzKind::kSilent) return;
+  if (iter >= spec_.max_instances) return;
+  if (!emitted_.insert(iter).second) return;
+  const auto n = ctx.params().n;
+  for (ProcessId to = 0; to < n; ++to) {
+    if (to == ctx.self()) continue;
+    double v = 0.0;
+    switch (spec_.kind) {
+      case ByzKind::kSilent:
+        return;
+      case ByzKind::kExtremeLow:
+        v = spec_.lo;
+        break;
+      case ByzKind::kExtremeHigh:
+        v = spec_.hi;
+        break;
+      case ByzKind::kEquivocate:
+      case ByzKind::kSpoiler:
+        v = (to < n / 2) ? spec_.lo : spec_.hi;
+        break;
+      case ByzKind::kNoise:
+        v = rng_.next_double(spec_.lo, spec_.hi);
+        break;
+    }
+    ctx.send(to, core::encode_rb(core::RbMsg{core::MsgType::kRbSend, iter,
+                                             ctx.self(), v}));
+  }
+}
+
+}  // namespace apxa::adversary

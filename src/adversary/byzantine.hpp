@@ -1,0 +1,91 @@
+// Byzantine attacker processes for the round-based protocols.
+//
+// Byzantine parties are ordinary net::Process implementations: the
+// per-receiver send() interface already grants full equivocation power.  The
+// strategies here target the averaging rules:
+//
+//   kSilent      — never sends (tests liveness under omission).
+//   kExtremeLow  — floods a constant extreme below the honest range.
+//   kExtremeHigh — floods a constant extreme above the honest range.
+//   kEquivocate  — sends the low extreme to the LOW camp (ids < n/2) and the
+//                  high extreme to the HIGH camp: maximally inconsistent.
+//   kSpoiler     — adaptive: tracks the honest values observed so far and
+//                  sends values just beyond the observed extremes, scaled by
+//                  an amplification factor; defeats naive averaging, should
+//                  be laundered by reduce-based rules.
+//   kNoise       — uniform random value per receiver within an interval.
+//
+// Attackers emit one batch of round-r messages the first time they learn
+// round r exists (own start covers round 0); they also inflate the adaptive
+// budget field when configured to, probing budget-cap hygiene.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "net/process.hpp"
+
+namespace apxa::adversary {
+
+enum class ByzKind : std::uint8_t {
+  kSilent,
+  kExtremeLow,
+  kExtremeHigh,
+  kEquivocate,
+  kSpoiler,
+  kNoise,
+};
+
+struct ByzSpec {
+  ProcessId who = kNoProcess;
+  ByzKind kind = ByzKind::kSilent;
+  double lo = -1.0e3;   ///< low extreme / noise interval start
+  double hi = 1.0e3;    ///< high extreme / noise interval end
+  double amplify = 2.0; ///< spoiler: how far past observed extremes to shoot
+  std::uint32_t inflate_budget = 0;  ///< nonzero: claim this round budget
+  std::uint64_t seed = 1;            ///< noise determinism
+  /// Attack at most this many rounds/iterations.  Bounds the traffic a lone
+  /// attacker can generate: without a cap a witness-protocol attacker feeds
+  /// on the echo traffic its own forgeries provoke and escalates forever.
+  std::uint32_t max_instances = 128;
+};
+
+class ByzRoundProcess final : public net::Process {
+ public:
+  explicit ByzRoundProcess(ByzSpec spec);
+
+  void on_start(net::Context& ctx) override;
+  void on_message(net::Context& ctx, ProcessId from, BytesView payload) override;
+
+ private:
+  void emit_round(net::Context& ctx, Round r);
+
+  ByzSpec spec_;
+  Rng rng_;
+  std::set<Round> emitted_;
+  double seen_lo_ = 0.0, seen_hi_ = 0.0;
+  bool seen_any_ = false;
+};
+
+/// Attacker for the witness-technique protocol: equivocates RB SENDs (which
+/// Bracha must either resolve consistently or not deliver at all) and stays
+/// silent in other parties' RB instances.  Strategies reuse ByzKind; kSilent
+/// sends nothing at all.
+class ByzWitnessProcess final : public net::Process {
+ public:
+  explicit ByzWitnessProcess(ByzSpec spec);
+
+  void on_start(net::Context& ctx) override;
+  void on_message(net::Context& ctx, ProcessId from, BytesView payload) override;
+
+ private:
+  void emit_iteration(net::Context& ctx, std::uint32_t iter);
+
+  ByzSpec spec_;
+  Rng rng_;
+  std::set<std::uint32_t> emitted_;
+};
+
+}  // namespace apxa::adversary

@@ -1,0 +1,58 @@
+#include "adversary/crash_plan.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace apxa::adversary {
+
+void apply(net::SimNetwork& net, const std::vector<CrashSpec>& specs) {
+  for (const CrashSpec& s : specs) {
+    APXA_ENSURE(s.who < net.params().n, "crash victim out of range");
+    if (!s.multicast_order.empty()) {
+      net.set_multicast_order(s.who, s.multicast_order);
+    }
+    net.crash_after_sends(s.who, s.after_sends);
+  }
+}
+
+std::vector<CrashSpec> random_crashes(Rng& rng, SystemParams params,
+                                      std::uint32_t count, Round rounds) {
+  APXA_ENSURE(count <= params.t, "cannot crash more than t parties");
+  std::vector<ProcessId> ids(params.n);
+  for (ProcessId p = 0; p < params.n; ++p) ids[p] = p;
+  rng.shuffle(ids);
+
+  std::vector<CrashSpec> specs;
+  const std::uint64_t per_round = params.n - 1;  // sends per multicast
+  const std::uint64_t horizon = std::max<std::uint64_t>(1, per_round * rounds);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    CrashSpec s;
+    s.who = ids[i];
+    s.after_sends = rng.next_below(horizon + 1);
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+CrashSpec partial_multicast_crash(SystemParams params, ProcessId who,
+                                  Round full_rounds,
+                                  std::vector<ProcessId> survivors) {
+  APXA_ENSURE(who < params.n, "crash victim out of range");
+  CrashSpec s;
+  s.who = who;
+  const std::uint64_t per_round = params.n - 1;
+  s.after_sends = per_round * full_rounds + survivors.size();
+
+  // Receiver order: survivors first, then everyone else (who will miss the
+  // final multicast), id order within each group.
+  std::vector<ProcessId> order = std::move(survivors);
+  for (ProcessId p = 0; p < params.n; ++p) {
+    if (p == who) continue;
+    if (std::find(order.begin(), order.end(), p) == order.end()) order.push_back(p);
+  }
+  s.multicast_order = std::move(order);
+  return s;
+}
+
+}  // namespace apxa::adversary

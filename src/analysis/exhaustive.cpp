@@ -1,0 +1,160 @@
+#include "analysis/exhaustive.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace apxa::analysis {
+
+namespace {
+
+/// All k-subsets of {0..m-1}, as index vectors.
+std::vector<std::vector<std::uint32_t>> subsets(std::uint32_t m, std::uint32_t k) {
+  std::vector<std::vector<std::uint32_t>> out;
+  std::vector<std::uint32_t> cur;
+  // Iterative combination enumeration.
+  std::vector<std::uint32_t> idx(k);
+  for (std::uint32_t i = 0; i < k; ++i) idx[i] = i;
+  if (k > m) return out;
+  for (;;) {
+    out.push_back(idx);
+    // advance
+    std::int32_t pos = static_cast<std::int32_t>(k) - 1;
+    while (pos >= 0 && idx[pos] == m - k + static_cast<std::uint32_t>(pos)) --pos;
+    if (pos < 0) break;
+    ++idx[pos];
+    for (std::uint32_t j = static_cast<std::uint32_t>(pos) + 1; j < k; ++j) {
+      idx[j] = idx[j - 1] + 1;
+    }
+  }
+  return out;
+}
+
+struct ViewTable {
+  // For each receiver: list of candidate views; each view is the receiver's
+  // own value plus a subset of others, pre-evaluated through the averager.
+  std::vector<std::vector<double>> new_value;          // [receiver][choice]
+  std::vector<std::vector<std::vector<ProcessId>>> choice_ids;  // others used
+};
+
+ViewTable build_table(SystemParams params, core::Averager averager,
+                      const std::vector<double>& values) {
+  const std::uint32_t n = params.n;
+  const std::uint32_t pick = params.quorum() - 1;  // others per view
+  ViewTable table;
+  table.new_value.resize(n);
+  table.choice_ids.resize(n);
+  for (ProcessId r = 0; r < n; ++r) {
+    std::vector<ProcessId> others;
+    for (ProcessId q = 0; q < n; ++q) {
+      if (q != r) others.push_back(q);
+    }
+    for (const auto& sub : subsets(n - 1, pick)) {
+      std::vector<double> view{values[r]};
+      std::vector<ProcessId> ids;
+      for (std::uint32_t i : sub) {
+        view.push_back(values[others[i]]);
+        ids.push_back(others[i]);
+      }
+      table.new_value[r].push_back(
+          core::apply_averager(averager, std::move(view), params.t));
+      table.choice_ids[r].push_back(std::move(ids));
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+ExhaustiveResult exhaustive_one_round(SystemParams params, core::Averager averager,
+                                      const std::vector<double>& inputs) {
+  const std::uint32_t n = params.n;
+  APXA_ENSURE(inputs.size() == n, "inputs must have size n");
+  APXA_ENSURE(n > 2 * params.t, "need n > 2t");
+  APXA_ENSURE(n <= 8, "exhaustive one-round enumeration is for small n");
+
+  const ViewTable table = build_table(params, averager, inputs);
+
+  // Post-round spread = max over receivers of value - min over receivers.
+  // The maximum over the product space decomposes: each receiver picks its
+  // view independently, so worst spread = max_i max_c v[i][c]
+  //                                       - min_j min_c v[j][c],
+  // provided the max and min land on DIFFERENT receivers (views of two
+  // distinct receivers are independently choosable).  If the same receiver
+  // attains both global extremes, consider the best cross pair.
+  ExhaustiveResult res;
+  std::vector<double> best_hi(n, -1e308), best_lo(n, 1e308);
+  std::vector<std::size_t> hi_choice(n, 0), lo_choice(n, 0);
+  std::uint64_t total = 0;
+  for (ProcessId r = 0; r < n; ++r) {
+    total += table.new_value[r].size();
+    for (std::size_t c = 0; c < table.new_value[r].size(); ++c) {
+      const double v = table.new_value[r][c];
+      if (v > best_hi[r]) {
+        best_hi[r] = v;
+        hi_choice[r] = c;
+      }
+      if (v < best_lo[r]) {
+        best_lo[r] = v;
+        lo_choice[r] = c;
+      }
+    }
+  }
+  res.assignments_explored = total;
+
+  double worst = 0.0;
+  ProcessId worst_hi = 0, worst_lo = 0;
+  for (ProcessId i = 0; i < n; ++i) {
+    for (ProcessId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double s = best_hi[i] - best_lo[j];
+      if (s > worst) {
+        worst = s;
+        worst_hi = i;
+        worst_lo = j;
+      }
+    }
+  }
+  res.worst_post_spread = std::max(0.0, worst);
+  res.witness_views.assign(n, {});
+  res.witness_views[worst_hi] = table.choice_ids[worst_hi][hi_choice[worst_hi]];
+  res.witness_views[worst_lo] = table.choice_ids[worst_lo][lo_choice[worst_lo]];
+  return res;
+}
+
+double exhaustive_multi_round(SystemParams params, core::Averager averager,
+                              const std::vector<double>& inputs, Round rounds) {
+  const std::uint32_t n = params.n;
+  APXA_ENSURE(inputs.size() == n, "inputs must have size n");
+  APXA_ENSURE(n <= 4, "multi-round DFS is for n <= 4");
+  if (rounds == 0) {
+    auto sorted = inputs;
+    std::sort(sorted.begin(), sorted.end());
+    return core::spread(sorted);
+  }
+
+  const ViewTable table = build_table(params, averager, inputs);
+  const std::size_t choices = table.new_value[0].size();
+
+  // DFS over the product of per-receiver choices.
+  std::vector<std::size_t> pick(n, 0);
+  double worst = 0.0;
+  for (;;) {
+    std::vector<double> next(n);
+    for (ProcessId r = 0; r < n; ++r) next[r] = table.new_value[r][pick[r]];
+    worst = std::max(
+        worst, exhaustive_multi_round(params, averager, next, rounds - 1));
+
+    // Increment the mixed-radix counter.
+    std::uint32_t pos = 0;
+    while (pos < n && ++pick[pos] == table.new_value[pos].size()) {
+      pick[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  (void)choices;
+  return worst;
+}
+
+}  // namespace apxa::analysis

@@ -1,0 +1,48 @@
+// Exhaustive small-model checking of the round adversary.
+//
+// analysis/worst_case.* computes the adversarial optimum assuming the worst
+// views are the two monotone extremes (the n - t smallest / largest values).
+// This module removes the assumption for small systems by brute force: it
+// enumerates EVERY legal assignment of views to receivers — each receiver's
+// view is its own value plus any (n - t - 1)-subset of the other values —
+// and maximizes the post-round spread over the full product space.  It also
+// explores multi-round schedules by DFS for the smallest systems.
+//
+// Two uses:
+//   1. verify that the extremes really are adversary-optimal for the
+//      library's (monotone) averaging rules (tests/exhaustive_test.cpp);
+//   2. machine-check the per-round theorem K = (n - t)/t over ALL schedules,
+//      not just the sampled or heuristic ones.
+//
+// Complexity: one round costs prod over receivers of C(n-1, n-t-1) view
+// choices; feasible up to roughly n = 7.  Multi-round DFS is restricted to
+// n <= 4-ish by the caller.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "core/multiset_ops.hpp"
+
+namespace apxa::analysis {
+
+struct ExhaustiveResult {
+  double worst_post_spread = 0.0;
+  /// One maximizing assignment: per receiver, the sorted ids of the other
+  /// parties whose values made up its view.
+  std::vector<std::vector<ProcessId>> witness_views;
+  std::uint64_t assignments_explored = 0;
+};
+
+/// Enumerate every one-round view assignment and maximize the post-round
+/// spread of the new values.  `inputs` has one genuine value per party.
+ExhaustiveResult exhaustive_one_round(SystemParams params, core::Averager averager,
+                                      const std::vector<double>& inputs);
+
+/// DFS over `rounds` consecutive adversarial rounds; returns the maximum
+/// final spread over every schedule.  Exponential — keep n tiny.
+double exhaustive_multi_round(SystemParams params, core::Averager averager,
+                              const std::vector<double>& inputs, Round rounds);
+
+}  // namespace apxa::analysis

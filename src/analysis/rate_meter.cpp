@@ -1,0 +1,50 @@
+#include "analysis/rate_meter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace apxa::analysis {
+
+RateSummary summarize_rates(const std::vector<double>& spread_by_round, double floor) {
+  RateSummary s;
+  s.per_round_min = std::numeric_limits<double>::infinity();
+  s.per_round_max = 0.0;
+
+  std::size_t last = 0;
+  for (std::size_t r = 0; r + 1 < spread_by_round.size(); ++r) {
+    const double a = spread_by_round[r];
+    const double b = spread_by_round[r + 1];
+    if (a <= floor || b <= floor) break;  // converged (or degenerate) tail
+    const double f = a / b;
+    s.per_round_min = std::min(s.per_round_min, f);
+    s.per_round_max = std::max(s.per_round_max, f);
+    last = r + 1;
+  }
+  if (last == 0) return s;  // nothing measurable
+
+  s.rounds = last;
+  s.sustained = std::pow(spread_by_round[0] / spread_by_round[last],
+                         1.0 / static_cast<double>(last));
+  s.measurable = true;
+  return s;
+}
+
+RateSummary worst_of(const std::vector<RateSummary>& summaries) {
+  RateSummary w;
+  w.sustained = std::numeric_limits<double>::infinity();
+  w.per_round_min = std::numeric_limits<double>::infinity();
+  w.per_round_max = 0.0;
+  for (const auto& s : summaries) {
+    if (!s.measurable) continue;
+    w.sustained = std::min(w.sustained, s.sustained);
+    w.per_round_min = std::min(w.per_round_min, s.per_round_min);
+    w.per_round_max = std::max(w.per_round_max, s.per_round_max);
+    w.rounds = std::max(w.rounds, s.rounds);
+    w.measurable = true;
+  }
+  if (!w.measurable) return RateSummary{};
+  return w;
+}
+
+}  // namespace apxa::analysis

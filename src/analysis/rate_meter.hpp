@@ -1,0 +1,30 @@
+// Convergence-rate extraction from spread traces.
+//
+// Experiments observe the per-round spread S_0, S_1, ... of the correct
+// parties' values.  Two rate notions are reported:
+//   per-round factors  S_r / S_{r+1}  (min over r = worst single round seen),
+//   sustained factor   (S_0 / S_R)^(1/R)  (geometric mean over the run) —
+// the quantity the paper's theorems bound.
+#pragma once
+
+#include <vector>
+
+namespace apxa::analysis {
+
+struct RateSummary {
+  double sustained = 0.0;       ///< geometric-mean factor per round
+  double per_round_min = 0.0;   ///< worst single-round factor observed
+  double per_round_max = 0.0;   ///< best single-round factor observed
+  std::size_t rounds = 0;       ///< rounds with measurable shrink
+  bool measurable = false;      ///< false when the trace never had spread
+};
+
+/// Summarize a spread-per-round trace.  Rounds where the spread has already
+/// collapsed to (near) zero are excluded from per-round statistics.
+RateSummary summarize_rates(const std::vector<double>& spread_by_round,
+                            double floor = 1e-15);
+
+/// Merge: worst (minimum) sustained and per-round factors across many runs.
+RateSummary worst_of(const std::vector<RateSummary>& summaries);
+
+}  // namespace apxa::analysis

@@ -1,0 +1,102 @@
+#include "analysis/worst_case.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+
+namespace apxa::analysis {
+
+namespace {
+
+// Fabricated byzantine values far outside [0, 1]: monotone rules are
+// extremized by pushing fabrications outward; laundering rules clip them.
+constexpr double kFarLow = -1.0e6;
+constexpr double kFarHigh = 1.0e6;
+
+}  // namespace
+
+double adversarial_post_spread(const WorstCaseQuery& q,
+                               std::vector<double> genuine_inputs) {
+  const auto n = q.params.n;
+  const auto t = q.params.t;
+  const auto b = q.byz_count;
+  // b may exceed t: the resilience-boundary experiments deliberately violate
+  // the fault assumption to show how the rules break.
+  APXA_ENSURE(b < q.params.quorum(), "a view cannot be all-fabricated");
+  APXA_ENSURE(genuine_inputs.size() + b >= q.params.quorum(),
+              "not enough genuine values to fill a view");
+  APXA_ENSURE(genuine_inputs.size() <= n, "too many genuine inputs");
+
+  std::sort(genuine_inputs.begin(), genuine_inputs.end());
+  const std::size_t genuine_in_view = q.params.quorum() - b;
+
+  std::vector<double> v_lo(b, kFarLow);
+  v_lo.insert(v_lo.end(), genuine_inputs.begin(),
+              genuine_inputs.begin() + genuine_in_view);
+
+  std::vector<double> v_hi(b, kFarHigh);
+  v_hi.insert(v_hi.end(), genuine_inputs.end() - genuine_in_view,
+              genuine_inputs.end());
+
+  const double f_lo = core::apply_averager(q.averager, std::move(v_lo), t);
+  const double f_hi = core::apply_averager(q.averager, std::move(v_hi), t);
+  return f_hi - f_lo;
+}
+
+WorstCaseResult worst_one_round_factor(const WorstCaseQuery& q) {
+  const auto n = q.params.n;
+  const std::uint32_t genuine = n - q.byz_count;
+  APXA_ENSURE(genuine >= 2, "need at least two genuine parties");
+
+  WorstCaseResult res;
+  res.worst_factor = std::numeric_limits<double>::infinity();
+  res.factor_at_worst_split = std::numeric_limits<double>::infinity();
+
+  auto consider = [&](const std::vector<double>& cfg, bool is_split) {
+    std::vector<double> sorted = cfg;
+    std::sort(sorted.begin(), sorted.end());
+    const double s = core::spread(sorted);
+    if (s <= 0.0) return;
+    const double post = adversarial_post_spread(q, cfg);
+    if (post <= 0.0) return;  // one-shot agreement on this configuration
+    const double factor = s / post;
+    if (factor < res.worst_factor) {
+      res.worst_factor = factor;
+      res.worst_config = cfg;
+    }
+    if (is_split) res.factor_at_worst_split = std::min(res.factor_at_worst_split, factor);
+  };
+
+  // Binary splits: a parties at 1, the rest at 0.
+  for (std::uint32_t a = 1; a < genuine; ++a) {
+    std::vector<double> cfg(genuine, 0.0);
+    for (std::uint32_t i = 0; i < a; ++i) cfg[genuine - 1 - i] = 1.0;
+    consider(cfg, /*is_split=*/true);
+  }
+
+  // Linear ramp.
+  {
+    std::vector<double> cfg(genuine);
+    for (std::uint32_t i = 0; i < genuine; ++i) {
+      cfg[i] = static_cast<double>(i) / (genuine - 1);
+    }
+    consider(cfg, /*is_split=*/false);
+  }
+
+  // Seeded random configurations (always containing both hull endpoints so
+  // the spread is exactly 1).
+  Rng rng(q.seed);
+  for (std::uint32_t c = 0; c < q.random_configs; ++c) {
+    std::vector<double> cfg(genuine);
+    cfg[0] = 0.0;
+    cfg[1] = 1.0;
+    for (std::uint32_t i = 2; i < genuine; ++i) cfg[i] = rng.next_double();
+    consider(cfg, /*is_split=*/false);
+  }
+
+  return res;
+}
+
+}  // namespace apxa::analysis

@@ -1,0 +1,51 @@
+// Exact single-round worst-case convergence factors.
+//
+// The lower-bound side of the 1987 story.  For one asynchronous round the
+// adversary's whole power is the choice, per receiver, of which n - t values
+// make up the view (plus, in the byzantine model, up to b fabricated values
+// per view).  For the monotone averaging rules in this library the adversary
+// -optimal views are the two "extreme" ones:
+//
+//   V_lo = [b fabricated lows] + the n - t - b smallest genuine values
+//   V_hi = [b fabricated highs] + the n - t - b largest genuine values
+//
+// (both realizable simultaneously for two different receivers), so the exact
+// worst post-round spread for a given input configuration x is
+// f(V_hi) - f(V_lo), with no simulation needed.  Minimizing the ratio
+// spread(x) / (f(V_hi) - f(V_lo)) over input configurations yields the exact
+// per-round worst-case factor of the rule; the search covers all binary
+// splits (the extremal family in the chain arguments), the linear ramp, and
+// seeded random configurations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "core/multiset_ops.hpp"
+
+namespace apxa::analysis {
+
+struct WorstCaseQuery {
+  SystemParams params;
+  core::Averager averager = core::Averager::kMean;
+  std::uint32_t byz_count = 0;   ///< fabricated values per view (<= t)
+  std::uint32_t random_configs = 64;
+  std::uint64_t seed = 7;
+};
+
+struct WorstCaseResult {
+  double worst_factor = 0.0;           ///< min over configs of S / S'
+  std::vector<double> worst_config;    ///< genuine inputs achieving it
+  double factor_at_worst_split = 0.0;  ///< min over binary splits only
+};
+
+/// Exact adversarial one-round factor (see file comment).  Genuine inputs are
+/// normalized to [0, 1]; factors are scale-invariant for all rules here.
+WorstCaseResult worst_one_round_factor(const WorstCaseQuery& q);
+
+/// Post-round spread for one explicit configuration (exposed for tests).
+double adversarial_post_spread(const WorstCaseQuery& q,
+                               std::vector<double> genuine_inputs);
+
+}  // namespace apxa::analysis

@@ -1,0 +1,5 @@
+#include "common/bytes.hpp"
+
+// Header-only; this translation unit exists so the target always has at least
+// one object file per module and to catch ODR issues early.
+namespace apxa {}

@@ -1,0 +1,41 @@
+// Lightweight precondition / invariant checking.
+//
+// APXA_ENSURE is used for caller-facing precondition checks (bad protocol
+// parameters, out-of-range ids); it throws std::invalid_argument so tests can
+// assert on misuse.  APXA_ASSERT guards internal invariants and throws
+// std::logic_error; a failure indicates a bug in the library itself.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace apxa::detail {
+
+[[noreturn]] inline void throw_ensure(const char* expr, const char* file, int line,
+                                      const std::string& what) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!what.empty()) os << " (" << what << ')';
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_assert(const char* expr, const char* file, int line,
+                                      const std::string& what) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!what.empty()) os << " (" << what << ')';
+  throw std::logic_error(os.str());
+}
+
+}  // namespace apxa::detail
+
+#define APXA_ENSURE(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) ::apxa::detail::throw_ensure(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define APXA_ASSERT(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) ::apxa::detail::throw_assert(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

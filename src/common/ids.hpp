@@ -1,0 +1,37 @@
+// Basic identifier and quantity types shared by every apxa module.
+//
+// The library models a fully connected message-passing system of n parties
+// P_0 ... P_{n-1}, up to t of which are faulty (crash or byzantine depending
+// on the protocol).  Process ids are dense integers so that per-process state
+// can live in plain vectors.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace apxa {
+
+/// Index of a party in the system, in [0, n).
+using ProcessId = std::uint32_t;
+
+/// Asynchronous (or synchronous) round number, starting at 0.
+using Round = std::uint32_t;
+
+/// Sentinel for "no process".
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+
+/// Sentinel for "no round / unbounded".
+inline constexpr Round kNoRound = std::numeric_limits<Round>::max();
+
+/// System-size parameters carried around together.  Constructors of protocol
+/// objects validate the resilience requirement they need (n > 2t, n > 3t or
+/// n > 5t) against this struct.
+struct SystemParams {
+  std::uint32_t n = 0;  ///< total number of parties
+  std::uint32_t t = 0;  ///< upper bound on faulty parties
+
+  /// Number of values a process waits for in an asynchronous round.
+  [[nodiscard]] std::uint32_t quorum() const { return n - t; }
+};
+
+}  // namespace apxa

@@ -1,0 +1,4 @@
+#include "common/rng.hpp"
+
+// Header-only; translation unit kept so every module owns an object file.
+namespace apxa {}

@@ -1,0 +1,72 @@
+// Deterministic, seedable pseudo-random generator (SplitMix64).
+//
+// Every source of randomness in the library flows through this type so that
+// simulations replay bit-identically from a seed.  SplitMix64 passes BigCrush
+// and is tiny; we do not need cryptographic strength for schedulers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ensure.hpp"
+
+namespace apxa {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound).  bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    APXA_ENSURE(bound > 0, "next_below requires a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = bound * (UINT64_MAX / bound);
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return v % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    APXA_ENSURE(lo <= hi, "next_int requires lo <= hi");
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// True with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-process streams).
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace apxa

@@ -1,0 +1,28 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace apxa {
+
+double percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  APXA_ENSURE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() == 1) return sample.front();
+  const double rank = p / 100.0 * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+double spread_of(const std::vector<double>& sample) {
+  if (sample.size() < 2) return 0.0;
+  auto [mn, mx] = std::minmax_element(sample.begin(), sample.end());
+  return *mx - *mn;
+}
+
+}  // namespace apxa

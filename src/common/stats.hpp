@@ -1,0 +1,41 @@
+// Small statistics helpers used by the benchmark harness and the analysis
+// module: online min/max/mean accumulation and percentile extraction.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace apxa {
+
+/// Online accumulator for min / max / mean / count.
+class Accumulator {
+ public:
+  void add(double v) {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+    sum_ += v;
+    ++count_;
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+ private:
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// p-th percentile (0 <= p <= 100) of a sample, nearest-rank method.
+/// Returns 0 for an empty sample.
+double percentile(std::vector<double> sample, double p);
+
+/// Spread (max - min) of a sample; 0 for empty/singleton samples.
+double spread_of(const std::vector<double>& sample);
+
+}  // namespace apxa

@@ -1,0 +1,60 @@
+#include "core/async_byz.hpp"
+
+#include "common/ensure.hpp"
+
+namespace apxa::core {
+
+RoundAaConfig dlpsw_async_config(SystemParams params, double input, Round rounds,
+                                 TraceFn trace) {
+  APXA_ENSURE(resilience_byz_async(params.n, params.t),
+              "DLPSW async requires n > 5t");
+  RoundAaConfig cfg;
+  cfg.params = params;
+  cfg.input = input;
+  cfg.averager = Averager::kDlpswAsync;
+  cfg.mode = TerminationMode::kFixedRounds;
+  cfg.fixed_rounds = rounds;
+  cfg.byzantine_safe_estimate = true;
+  cfg.trace = std::move(trace);
+  return cfg;
+}
+
+RoundAaConfig dlpsw_async_adaptive_config(SystemParams params, double input,
+                                          double epsilon, TraceFn trace) {
+  RoundAaConfig cfg = dlpsw_async_config(params, input, 0, std::move(trace));
+  cfg.mode = TerminationMode::kAdaptive;
+  cfg.epsilon = epsilon;
+  return cfg;
+}
+
+RoundAaConfig crash_aa_config(SystemParams params, double input, Round rounds,
+                              Averager averager, TraceFn trace) {
+  APXA_ENSURE(resilience_crash_async(params.n, params.t),
+              "crash-model AA requires n > 2t");
+  RoundAaConfig cfg;
+  cfg.params = params;
+  cfg.input = input;
+  cfg.averager = averager;
+  cfg.mode = TerminationMode::kFixedRounds;
+  cfg.fixed_rounds = rounds;
+  cfg.trace = std::move(trace);
+  return cfg;
+}
+
+RoundAaConfig crash_aa_adaptive_config(SystemParams params, double input,
+                                       double epsilon, TraceFn trace) {
+  RoundAaConfig cfg = crash_aa_config(params, input, 0, Averager::kMean,
+                                      std::move(trace));
+  cfg.mode = TerminationMode::kAdaptive;
+  cfg.epsilon = epsilon;
+  return cfg;
+}
+
+Round rounds_for_bound(double M, double epsilon, Averager averager,
+                       SystemParams params) {
+  APXA_ENSURE(M >= 0.0, "magnitude bound must be non-negative");
+  const double k = predicted_factor(averager, params.n, params.t);
+  return rounds_needed(2.0 * M, epsilon, k);
+}
+
+}  // namespace apxa::core

@@ -1,0 +1,115 @@
+#include "core/codec.hpp"
+
+namespace apxa::core {
+
+namespace {
+
+bool type_in(MsgType t, std::initializer_list<MsgType> set) {
+  for (MsgType s : set) {
+    if (t == s) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<MsgType> peek_type(BytesView payload) {
+  if (payload.empty()) return std::nullopt;
+  const auto raw = static_cast<std::uint8_t>(payload[0]);
+  if (raw < 1 || raw > 6) return std::nullopt;
+  return static_cast<MsgType>(raw);
+}
+
+Bytes encode_round(const RoundMsg& m) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kRound));
+  w.put_varint(m.round);
+  w.put_f64(m.value);
+  w.put_varint(m.budget);
+  return std::move(w).take();
+}
+
+std::optional<RoundMsg> decode_round(BytesView payload) {
+  if (peek_type(payload) != MsgType::kRound) return std::nullopt;
+  ByteReader r(payload);
+  r.get_u8();
+  RoundMsg m;
+  m.round = static_cast<Round>(r.get_varint());
+  m.value = r.get_f64();
+  m.budget = static_cast<std::uint32_t>(r.get_varint());
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+Bytes encode_done(const DoneMsg& m) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kDone));
+  w.put_varint(m.round);
+  w.put_f64(m.value);
+  return std::move(w).take();
+}
+
+std::optional<DoneMsg> decode_done(BytesView payload) {
+  if (peek_type(payload) != MsgType::kDone) return std::nullopt;
+  ByteReader r(payload);
+  r.get_u8();
+  DoneMsg m;
+  m.round = static_cast<Round>(r.get_varint());
+  m.value = r.get_f64();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+Bytes encode_rb(const RbMsg& m) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(m.type));
+  w.put_varint(m.instance);
+  w.put_varint(m.origin);
+  w.put_f64(m.value);
+  return std::move(w).take();
+}
+
+std::optional<RbMsg> decode_rb(BytesView payload) {
+  const auto t = peek_type(payload);
+  if (!t || !type_in(*t, {MsgType::kRbSend, MsgType::kRbEcho, MsgType::kRbReady})) {
+    return std::nullopt;
+  }
+  ByteReader r(payload);
+  r.get_u8();
+  RbMsg m;
+  m.type = *t;
+  m.instance = static_cast<std::uint32_t>(r.get_varint());
+  m.origin = static_cast<ProcessId>(r.get_varint());
+  m.value = r.get_f64();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+Bytes encode_report(const ReportMsg& m) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kReport));
+  w.put_varint(m.iter);
+  w.put_bits(m.have);
+  return std::move(w).take();
+}
+
+std::optional<ReportMsg> decode_report(BytesView payload) {
+  if (peek_type(payload) != MsgType::kReport) return std::nullopt;
+  ByteReader r(payload);
+  r.get_u8();
+  ReportMsg m;
+  m.iter = static_cast<std::uint32_t>(r.get_varint());
+  m.have = r.get_bits();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+sched::ProbeFn round_probe() {
+  return [](BytesView payload) -> std::optional<sched::ValueProbe> {
+    const auto m = decode_round(payload);
+    if (!m) return std::nullopt;
+    return sched::ValueProbe{m->round, m->value};
+  };
+}
+
+}  // namespace apxa::core

@@ -1,0 +1,75 @@
+// Wire format for every protocol message in the library.
+//
+// All protocols share a single tagged encoding so that schedulers, probes and
+// metrics can reason about traffic uniformly:
+//
+//   ROUND  : round-based value exchange   [tag][round varint][value f64][budget varint]
+//   DONE   : frozen-value announcement    [tag][round varint][value f64]
+//   RB_*   : Bracha reliable broadcast    [tag][instance varint][origin varint][value f64]
+//   REPORT : AAD'04 witness report        [tag][iter varint][bitset of delivered origins]
+//
+// The `budget` field of ROUND carries the sender's current round budget in
+// the adaptive-termination mode (0 when unused) — budgets piggyback on value
+// traffic instead of costing extra messages.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "sched/scheduler.hpp"
+
+namespace apxa::core {
+
+enum class MsgType : std::uint8_t {
+  kRound = 1,
+  kDone = 2,
+  kRbSend = 3,
+  kRbEcho = 4,
+  kRbReady = 5,
+  kReport = 6,
+};
+
+struct RoundMsg {
+  Round round = 0;
+  double value = 0.0;
+  std::uint32_t budget = 0;  ///< adaptive round budget; 0 = not in use
+};
+
+struct DoneMsg {
+  Round round = 0;
+  double value = 0.0;
+};
+
+struct RbMsg {
+  MsgType type = MsgType::kRbSend;  ///< kRbSend / kRbEcho / kRbReady
+  std::uint32_t instance = 0;       ///< protocol-level instance tag (e.g. iteration)
+  ProcessId origin = kNoProcess;    ///< original broadcaster
+  double value = 0.0;
+};
+
+struct ReportMsg {
+  std::uint32_t iter = 0;
+  std::vector<bool> have;  ///< have[j] == RB-delivered origin j's value this iter
+};
+
+/// Peek at the type tag without decoding; nullopt on empty payload.
+std::optional<MsgType> peek_type(BytesView payload);
+
+Bytes encode_round(const RoundMsg& m);
+std::optional<RoundMsg> decode_round(BytesView payload);
+
+Bytes encode_done(const DoneMsg& m);
+std::optional<DoneMsg> decode_done(BytesView payload);
+
+Bytes encode_rb(const RbMsg& m);
+std::optional<RbMsg> decode_rb(BytesView payload);
+
+Bytes encode_report(const ReportMsg& m);
+std::optional<ReportMsg> decode_report(BytesView payload);
+
+/// Scheduler probe that exposes ROUND messages' (round, value) to value-aware
+/// adversaries.  Works for every round-based protocol in the library.
+sched::ProbeFn round_probe();
+
+}  // namespace apxa::core

@@ -1,0 +1,203 @@
+#include "core/epsilon_driver.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/ensure.hpp"
+#include "core/async_byz.hpp"
+#include "core/bounds.hpp"
+#include "core/codec.hpp"
+#include "sched/clique_scheduler.hpp"
+#include "sched/crash_timing_scheduler.hpp"
+#include "sched/fifo_scheduler.hpp"
+#include "sched/greedy_split_scheduler.hpp"
+#include "sched/random_scheduler.hpp"
+#include "witness/aad04.hpp"
+
+namespace apxa::core {
+
+namespace {
+
+std::unique_ptr<sched::Scheduler> make_scheduler(const RunConfig& cfg) {
+  switch (cfg.sched) {
+    case SchedKind::kRandom:
+      return std::make_unique<sched::RandomScheduler>(cfg.seed);
+    case SchedKind::kFifo:
+      return std::make_unique<sched::FifoScheduler>();
+    case SchedKind::kGreedySplit:
+      return std::make_unique<sched::GreedySplitScheduler>(round_probe(),
+                                                           cfg.params.n);
+    case SchedKind::kTargeted:
+      return std::make_unique<sched::TargetedDelayScheduler>(cfg.seed);
+    case SchedKind::kClique: {
+      std::set<ProcessId> clique;
+      for (ProcessId p = 0; p < cfg.params.quorum(); ++p) clique.insert(p);
+      return std::make_unique<sched::CliqueScheduler>(std::move(clique));
+    }
+  }
+  APXA_ASSERT(false, "unknown scheduler kind");
+}
+
+}  // namespace
+
+RunReport run_async(const RunConfig& cfg) {
+  const auto n = cfg.params.n;
+  APXA_ENSURE(cfg.inputs.size() == n, "inputs must have size n");
+  APXA_ENSURE(cfg.allow_excess_faults ||
+                  cfg.crashes.size() + cfg.byz.size() <= cfg.params.t,
+              "cannot exceed the fault budget t");
+
+  std::set<ProcessId> byz_ids;
+  for (const auto& b : cfg.byz) {
+    APXA_ENSURE(b.who < n, "byzantine id out of range");
+    APXA_ENSURE(byz_ids.insert(b.who).second, "duplicate byzantine id");
+  }
+  for (const auto& c : cfg.crashes) {
+    APXA_ENSURE(!byz_ids.contains(c.who), "party cannot be both byz and crashed");
+  }
+
+  // Trace: values at round entry, per party.
+  std::map<Round, std::map<ProcessId, double>> trace;
+  TraceFn trace_fn = [&trace](ProcessId p, Round r, double v) { trace[r][p] = v; };
+
+  net::SimNetwork net(cfg.params, make_scheduler(cfg));
+
+  for (ProcessId p = 0; p < n; ++p) {
+    if (byz_ids.contains(p)) {
+      const auto it = std::find_if(cfg.byz.begin(), cfg.byz.end(),
+                                   [p](const auto& b) { return b.who == p; });
+      if (cfg.protocol == ProtocolKind::kWitness) {
+        net.add_process(std::make_unique<adversary::ByzWitnessProcess>(*it));
+      } else {
+        net.add_process(std::make_unique<adversary::ByzRoundProcess>(*it));
+      }
+      continue;
+    }
+    switch (cfg.protocol) {
+      case ProtocolKind::kCrashRound:
+      case ProtocolKind::kByzRound: {
+        RoundAaConfig pc;
+        pc.params = cfg.params;
+        pc.input = cfg.inputs[p];
+        pc.averager = cfg.protocol == ProtocolKind::kByzRound
+                          ? Averager::kDlpswAsync
+                          : cfg.averager;
+        pc.mode = cfg.mode;
+        pc.fixed_rounds = cfg.fixed_rounds;
+        pc.epsilon = cfg.epsilon;
+        pc.adaptive_slack = cfg.adaptive_slack;
+        pc.byzantine_safe_estimate = cfg.protocol == ProtocolKind::kByzRound;
+        pc.trace = trace_fn;
+        net.add_process(std::make_unique<RoundAaProcess>(pc));
+        break;
+      }
+      case ProtocolKind::kWitness: {
+        witness::WitnessConfig wc;
+        wc.params = cfg.params;
+        wc.input = cfg.inputs[p];
+        wc.iterations = cfg.fixed_rounds;
+        wc.trace = trace_fn;
+        net.add_process(std::make_unique<witness::WitnessAaProcess>(wc));
+        break;
+      }
+    }
+  }
+
+  for (ProcessId b : byz_ids) net.mark_byzantine(b);
+  adversary::apply(net, cfg.crashes);
+  net.start();
+
+  RunReport rep;
+  if (cfg.mode == TerminationMode::kLive) {
+    // Live protocols never output; observe until every correct party has
+    // entered round `fixed_rounds` (the observation horizon).
+    const Round horizon = cfg.fixed_rounds;
+    auto horizon_met = [&net, &cfg, horizon, n]() {
+      for (ProcessId p = 0; p < n; ++p) {
+        if (!net.is_correct(p)) continue;
+        if (cfg.protocol == ProtocolKind::kWitness) {
+          const auto& w = dynamic_cast<const witness::WitnessAaProcess&>(net.process(p));
+          if (w.current_iteration() < horizon) return false;
+        } else {
+          const auto& r = dynamic_cast<const RoundAaProcess&>(net.process(p));
+          if (r.current_round() < horizon) return false;
+        }
+      }
+      return true;
+    };
+    rep.status = net.run_until(horizon_met, cfg.max_deliveries);
+  } else {
+    rep.status = net.run_until([&net]() { return net.all_correct_output(); },
+                               cfg.max_deliveries);
+  }
+
+  rep.all_output = net.all_correct_output();
+  rep.outputs = net.correct_outputs();
+  rep.metrics = net.metrics();
+
+  // Validity hull: inputs of every non-byzantine party (crash faults do not
+  // lie, so crashed parties' genuine inputs legitimately bound outputs).
+  std::vector<double> honest_inputs;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (!byz_ids.contains(p)) honest_inputs.push_back(cfg.inputs[p]);
+  }
+  const Interval hull = hull_of(honest_inputs);
+
+  rep.validity_ok = std::all_of(rep.outputs.begin(), rep.outputs.end(),
+                                [&hull](double y) { return hull.contains(y); });
+  {
+    std::vector<double> sorted = rep.outputs;
+    std::sort(sorted.begin(), sorted.end());
+    rep.worst_pair_gap = spread(sorted);
+    rep.agreement_ok = rep.worst_pair_gap <= cfg.epsilon + 1e-12;
+  }
+
+  for (ProcessId p = 0; p < n; ++p) {
+    if (net.is_correct(p)) {
+      rep.finish_time = std::max(rep.finish_time, net.output_time(p));
+    }
+  }
+
+  // Per-round spreads over parties that stayed correct to the end.
+  for (const auto& [round, entries] : trace) {
+    std::vector<double> vals;
+    for (const auto& [p, v] : entries) {
+      if (net.is_correct(p)) vals.push_back(v);
+    }
+    if (vals.empty()) continue;
+    std::sort(vals.begin(), vals.end());
+    rep.spread_by_round.push_back(spread(vals));
+    rep.max_round_reached = std::max(rep.max_round_reached, round);
+  }
+  for (std::size_t r = 0; r + 1 < rep.spread_by_round.size(); ++r) {
+    const double a = rep.spread_by_round[r];
+    const double b = rep.spread_by_round[r + 1];
+    if (a > 0.0 && b > 0.0) rep.round_factors.push_back(a / b);
+  }
+  return rep;
+}
+
+std::vector<double> linear_inputs(std::uint32_t n, double lo, double hi) {
+  APXA_ENSURE(n >= 1, "need at least one input");
+  std::vector<double> v(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    v[i] = n == 1 ? lo : lo + (hi - lo) * static_cast<double>(i) / (n - 1);
+  }
+  return v;
+}
+
+std::vector<double> split_inputs(std::uint32_t n, std::uint32_t count_hi, double lo,
+                                 double hi) {
+  APXA_ENSURE(count_hi <= n, "count_hi must be at most n");
+  std::vector<double> v(n, lo);
+  for (std::uint32_t i = 0; i < count_hi; ++i) v[n - 1 - i] = hi;
+  return v;
+}
+
+std::vector<double> random_inputs(Rng& rng, std::uint32_t n, double lo, double hi) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.next_double(lo, hi);
+  return v;
+}
+
+}  // namespace apxa::core

@@ -1,0 +1,227 @@
+#include "core/multidim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/ensure.hpp"
+#include "core/multiset_ops.hpp"
+#include "net/sim.hpp"
+#include "sched/clique_scheduler.hpp"
+#include "sched/crash_timing_scheduler.hpp"
+#include "sched/fifo_scheduler.hpp"
+#include "sched/greedy_split_scheduler.hpp"
+#include "sched/random_scheduler.hpp"
+
+namespace apxa::core {
+
+namespace {
+constexpr std::uint8_t kVecRoundTag = 7;
+}
+
+Bytes encode_vec_round(Round r, const std::vector<double>& v) {
+  ByteWriter w;
+  w.put_u8(kVecRoundTag);
+  w.put_varint(r);
+  w.put_varint(v.size());
+  for (double x : v) w.put_f64(x);
+  return std::move(w).take();
+}
+
+std::optional<std::pair<Round, std::vector<double>>> decode_vec_round(
+    BytesView payload) {
+  if (payload.empty() || static_cast<std::uint8_t>(payload[0]) != kVecRoundTag) {
+    return std::nullopt;
+  }
+  ByteReader r(payload);
+  r.get_u8();
+  const auto round = static_cast<Round>(r.get_varint());
+  const auto dim = r.get_varint();
+  if (dim > 1u << 16) return std::nullopt;
+  std::vector<double> v(dim);
+  for (auto& x : v) {
+    if (r.remaining() < 8) return std::nullopt;
+    x = r.get_f64();
+  }
+  if (!r.done()) return std::nullopt;
+  return std::make_pair(round, std::move(v));
+}
+
+VectorAaProcess::VectorAaProcess(VectorAaConfig cfg) : cfg_(std::move(cfg)) {
+  APXA_ENSURE(cfg_.params.n > 2 * cfg_.params.t && cfg_.params.t >= 1,
+              "vector AA requires n > 2t, t >= 1");
+  APXA_ENSURE(cfg_.dim >= 1, "dimension must be positive");
+  APXA_ENSURE(cfg_.input.size() == cfg_.dim, "input must have `dim` coordinates");
+  value_ = cfg_.input;
+}
+
+VectorAaProcess::Slot& VectorAaProcess::slot(Round r) { return slots_[r]; }
+
+void VectorAaProcess::maybe_freeze(Slot& s) const {
+  if (!s.frozen && s.own_added && s.values.size() >= cfg_.params.quorum()) {
+    s.frozen = true;
+  }
+}
+
+void VectorAaProcess::add_own(Round r, const std::vector<double>& v) {
+  Slot& s = slot(r);
+  APXA_ASSERT(!s.own_added, "own vector added twice");
+  s.own_added = true;
+  s.values.push_back(v);
+  s.contributors.push_back(kNoProcess);
+  maybe_freeze(s);
+}
+
+void VectorAaProcess::add_remote(ProcessId from, Round r, std::vector<double> v) {
+  Slot& s = slot(r);
+  if (s.frozen || v.size() != cfg_.dim) return;
+  if (std::find(s.contributors.begin(), s.contributors.end(), from) !=
+      s.contributors.end()) {
+    return;
+  }
+  const std::size_t cap =
+      s.own_added ? cfg_.params.quorum() : cfg_.params.quorum() - 1;
+  if (s.values.size() >= cap) return;
+  s.values.push_back(std::move(v));
+  s.contributors.push_back(from);
+  maybe_freeze(s);
+}
+
+void VectorAaProcess::on_start(net::Context& ctx) {
+  if (cfg_.fixed_rounds == 0) {
+    done_ = true;
+    return;
+  }
+  begin_round(ctx);
+  try_advance(ctx);
+}
+
+void VectorAaProcess::begin_round(net::Context& ctx) {
+  add_own(round_, value_);
+  ctx.multicast(encode_vec_round(round_, value_));
+}
+
+void VectorAaProcess::on_message(net::Context& ctx, ProcessId from,
+                                 BytesView payload) {
+  if (done_) return;
+  auto m = decode_vec_round(payload);
+  if (!m) return;
+  add_remote(from, m->first, std::move(m->second));
+  try_advance(ctx);
+}
+
+void VectorAaProcess::try_advance(net::Context& ctx) {
+  while (!done_ && slots_[round_].frozen) {
+    const Slot& s = slots_[round_];
+    // Coordinate-wise averaging: column c of the view is a 1-D multiset.
+    std::vector<double> next(cfg_.dim);
+    for (std::uint32_t c = 0; c < cfg_.dim; ++c) {
+      std::vector<double> column;
+      column.reserve(s.values.size());
+      for (const auto& vec : s.values) column.push_back(vec[c]);
+      next[c] = apply_averager(cfg_.averager, std::move(column), cfg_.params.t);
+    }
+    value_ = std::move(next);
+    ++round_;
+    slots_.erase(slots_.begin(), slots_.lower_bound(round_));
+    if (round_ >= cfg_.fixed_rounds) {
+      done_ = true;
+      return;
+    }
+    begin_round(ctx);
+  }
+}
+
+namespace {
+
+std::unique_ptr<sched::Scheduler> make_sched(const MultiDimConfig& cfg) {
+  switch (cfg.sched) {
+    case SchedKind::kRandom:
+      return std::make_unique<sched::RandomScheduler>(cfg.seed);
+    case SchedKind::kFifo:
+      return std::make_unique<sched::FifoScheduler>();
+    case SchedKind::kGreedySplit: {
+      // Value-aware probe over the first coordinate.
+      auto probe = [](BytesView payload) -> std::optional<sched::ValueProbe> {
+        const auto m = decode_vec_round(payload);
+        if (!m || m->second.empty()) return std::nullopt;
+        return sched::ValueProbe{m->first, m->second[0]};
+      };
+      return std::make_unique<sched::GreedySplitScheduler>(probe, cfg.params.n);
+    }
+    case SchedKind::kTargeted:
+      return std::make_unique<sched::TargetedDelayScheduler>(cfg.seed);
+    case SchedKind::kClique: {
+      std::set<ProcessId> clique;
+      for (ProcessId p = 0; p < cfg.params.quorum(); ++p) clique.insert(p);
+      return std::make_unique<sched::CliqueScheduler>(std::move(clique));
+    }
+  }
+  APXA_ASSERT(false, "unknown scheduler kind");
+}
+
+}  // namespace
+
+MultiDimReport run_multidim(const MultiDimConfig& cfg) {
+  const auto n = cfg.params.n;
+  APXA_ENSURE(cfg.inputs.size() == n, "inputs must have n rows");
+  for (const auto& row : cfg.inputs) {
+    APXA_ENSURE(row.size() == cfg.dim, "every input needs `dim` coordinates");
+  }
+  APXA_ENSURE(cfg.crashes.size() <= cfg.params.t, "too many crashes");
+
+  net::SimNetwork net(cfg.params, make_sched(cfg));
+  for (ProcessId p = 0; p < n; ++p) {
+    VectorAaConfig pc;
+    pc.params = cfg.params;
+    pc.dim = cfg.dim;
+    pc.input = cfg.inputs[p];
+    pc.averager = cfg.averager;
+    pc.fixed_rounds = cfg.fixed_rounds;
+    net.add_process(std::make_unique<VectorAaProcess>(pc));
+  }
+  adversary::apply(net, cfg.crashes);
+  net.start();
+
+  MultiDimReport rep;
+  net.run_until([&net]() { return net.all_correct_output(); });
+  rep.all_output = net.all_correct_output();
+  rep.metrics = net.metrics();
+
+  for (ProcessId p = 0; p < n; ++p) {
+    if (!net.is_correct(p)) continue;
+    const auto& proc = dynamic_cast<const VectorAaProcess&>(net.process(p));
+    if (proc.has_vector_output()) rep.outputs.push_back(proc.vector_output());
+    rep.finish_time = std::max(rep.finish_time, net.output_time(p));
+  }
+
+  // Box validity: every coordinate within the per-coordinate hull of all
+  // (non-byzantine; here: all) inputs.
+  rep.box_validity_ok = true;
+  for (std::uint32_t c = 0; c < cfg.dim; ++c) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (const auto& row : cfg.inputs) {
+      lo = std::min(lo, row[c]);
+      hi = std::max(hi, row[c]);
+    }
+    for (const auto& out : rep.outputs) {
+      if (out[c] < lo - 1e-9 || out[c] > hi + 1e-9) rep.box_validity_ok = false;
+    }
+  }
+
+  for (std::size_t i = 0; i < rep.outputs.size(); ++i) {
+    for (std::size_t j = i + 1; j < rep.outputs.size(); ++j) {
+      double linf = 0.0;
+      for (std::uint32_t c = 0; c < cfg.dim; ++c) {
+        linf = std::max(linf, std::abs(rep.outputs[i][c] - rep.outputs[j][c]));
+      }
+      rep.worst_linf_gap = std::max(rep.worst_linf_gap, linf);
+    }
+  }
+  rep.agreement_ok = rep.worst_linf_gap <= cfg.epsilon + 1e-12;
+  return rep;
+}
+
+}  // namespace apxa::core

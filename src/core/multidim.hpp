@@ -1,0 +1,117 @@
+// Multidimensional approximate agreement in R^d (coordinate-wise).
+//
+// The natural vector extension of the 1987 round protocol: each round a
+// party multicasts its current vector, waits for n - t round-tagged vectors,
+// and applies the averaging rule *per coordinate*.  One message per round
+// carries all d coordinates, so the message complexity stays Theta(n^2) per
+// round and only the bit complexity scales with d.
+//
+// Guarantees (crash faults):
+//   box validity     — every correct output lies in the per-coordinate
+//                      interval hull (bounding box) of the correct inputs;
+//   eps-agreement    — pairwise L-infinity distance of outputs <= eps;
+//   convergence rate — each coordinate is exactly a 1-D instance, so the
+//                      per-round factor is the 1-D factor ((n - t)/t for the
+//                      mean rule); all coordinates shrink in lockstep.
+//
+// Byzantine caveat (documented, deliberate): coordinate-wise laundering
+// (reduce_t per coordinate) yields BOX validity only — outputs can leave the
+// *convex* hull of the correct inputs, which is why multidimensional
+// byzantine AA with convex validity required new machinery in the follow-on
+// literature (Mendes-Herlihy STOC'13 / Vaidya-Garg PODC'13: safe areas,
+// Tverberg points).  The crash model has no such gap: box = product of
+// per-coordinate hulls of genuine values.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "adversary/crash_plan.hpp"
+#include "common/ids.hpp"
+#include "core/async_crash.hpp"
+#include "core/epsilon_driver.hpp"
+#include "net/process.hpp"
+
+namespace apxa::core {
+
+struct VectorAaConfig {
+  SystemParams params;
+  std::uint32_t dim = 1;
+  std::vector<double> input;  ///< size dim
+  Averager averager = Averager::kMean;
+  Round fixed_rounds = 1;
+};
+
+/// Round-based coordinate-wise AA process for R^d (fixed-round termination).
+class VectorAaProcess final : public net::Process {
+ public:
+  explicit VectorAaProcess(VectorAaConfig cfg);
+
+  void on_start(net::Context& ctx) override;
+  void on_message(net::Context& ctx, ProcessId from, BytesView payload) override;
+
+  /// Scalar output() stays empty; vector output is exposed separately.
+  [[nodiscard]] std::optional<double> output() const override {
+    return done_ ? std::optional<double>(value_.empty() ? 0.0 : value_[0])
+                 : std::nullopt;
+  }
+  [[nodiscard]] bool has_vector_output() const { return done_; }
+  [[nodiscard]] const std::vector<double>& vector_output() const { return value_; }
+  [[nodiscard]] Round current_round() const { return round_; }
+
+ private:
+  struct Slot {
+    std::vector<std::vector<double>> values;  // arrival order
+    std::vector<ProcessId> contributors;
+    bool own_added = false;
+    bool frozen = false;
+  };
+
+  void begin_round(net::Context& ctx);
+  void try_advance(net::Context& ctx);
+  Slot& slot(Round r);
+  void maybe_freeze(Slot& s) const;
+  void add_own(Round r, const std::vector<double>& v);
+  void add_remote(ProcessId from, Round r, std::vector<double> v);
+
+  VectorAaConfig cfg_;
+  std::map<Round, Slot> slots_;
+  std::vector<double> value_;
+  Round round_ = 0;
+  bool done_ = false;
+};
+
+/// Wire format for vector rounds (tag 7): [round][dim][f64 x dim][budget=0].
+Bytes encode_vec_round(Round r, const std::vector<double>& v);
+std::optional<std::pair<Round, std::vector<double>>> decode_vec_round(
+    BytesView payload);
+
+// --- experiment driver ------------------------------------------------------
+
+struct MultiDimConfig {
+  SystemParams params;
+  std::uint32_t dim = 2;
+  Averager averager = Averager::kMean;
+  Round fixed_rounds = 1;
+  double epsilon = 1e-3;
+  std::vector<std::vector<double>> inputs;  ///< n rows of dim columns
+  SchedKind sched = SchedKind::kRandom;
+  std::uint64_t seed = 1;
+  std::vector<adversary::CrashSpec> crashes;
+};
+
+struct MultiDimReport {
+  bool all_output = false;
+  std::vector<std::vector<double>> outputs;  ///< correct parties' vectors
+  bool box_validity_ok = false;
+  double worst_linf_gap = 0.0;
+  bool agreement_ok = false;
+  net::Metrics metrics;
+  double finish_time = 0.0;
+};
+
+MultiDimReport run_multidim(const MultiDimConfig& cfg);
+
+}  // namespace apxa::core

@@ -1,0 +1,75 @@
+#include "core/round_engine.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace apxa::core {
+
+RoundCollector::RoundCollector(SystemParams params) : params_(params) {
+  APXA_ENSURE(params_.n > params_.t, "collector needs n > t");
+}
+
+RoundCollector::Slot& RoundCollector::slot(Round r) { return slots_[r]; }
+
+void RoundCollector::maybe_freeze(Slot& s) const {
+  if (!s.frozen && s.own_added && s.values.size() >= params_.quorum()) {
+    s.frozen = true;
+  }
+}
+
+void RoundCollector::add_own(Round r, double value) {
+  Slot& s = slot(r);
+  APXA_ENSURE(!s.own_added, "own value added twice for a round");
+  s.own_added = true;
+  // Own value always belongs to the view: insert it even if n - t remote
+  // values already arrived (the quorum rule counts the party itself).
+  if (s.values.size() >= params_.quorum()) {
+    // Keep the first quorum-1 remote values plus our own.
+    s.values.resize(params_.quorum() - 1);
+    s.contributors.resize(params_.quorum() - 1);
+  }
+  s.values.push_back(value);
+  s.contributors.push_back(kNoProcess);  // marker for "self"; fixed by caller if needed
+  maybe_freeze(s);
+}
+
+void RoundCollector::add_remote(ProcessId from, Round r, double value) {
+  APXA_ENSURE(from < params_.n, "sender out of range");
+  Slot& s = slot(r);
+  if (s.frozen) return;
+  if (std::find(s.contributors.begin(), s.contributors.end(), from) !=
+      s.contributors.end()) {
+    return;  // duplicate sender for this round (byzantine); keep the first
+  }
+  // Leave room for the party's own value if it has not been added yet.
+  const std::size_t cap =
+      s.own_added ? params_.quorum() : params_.quorum() - 1;
+  if (s.values.size() >= cap) return;
+  s.values.push_back(value);
+  s.contributors.push_back(from);
+  maybe_freeze(s);
+}
+
+bool RoundCollector::ready(Round r) const {
+  const auto it = slots_.find(r);
+  return it != slots_.end() && it->second.frozen;
+}
+
+const std::vector<double>& RoundCollector::view(Round r) const {
+  const auto it = slots_.find(r);
+  APXA_ENSURE(it != slots_.end() && it->second.frozen, "view requested before ready");
+  return it->second.values;
+}
+
+const std::vector<ProcessId>& RoundCollector::contributors(Round r) const {
+  const auto it = slots_.find(r);
+  APXA_ENSURE(it != slots_.end(), "contributors requested for unknown round");
+  return it->second.contributors;
+}
+
+void RoundCollector::forget_before(Round r) {
+  slots_.erase(slots_.begin(), slots_.lower_bound(r));
+}
+
+}  // namespace apxa::core

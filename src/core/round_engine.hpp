@@ -1,0 +1,65 @@
+// Asynchronous round bookkeeping: the "broadcast, wait for n - t" pattern.
+//
+// The model's central data structure.  A party in round r contributes its own
+// value and then waits until it holds n - t round-r values (its own counts).
+// The *view* of round r is frozen as the first n - t values that arrived —
+// later round-r arrivals are ignored, exactly as in the model where a party
+// stops waiting once the quorum is met.  Messages for future rounds are
+// buffered: an asynchronous run lets fast parties race ahead of slow ones.
+//
+// Duplicate round-r values from the same sender are dropped (only byzantine
+// parties produce them; taking the first is the standard convention).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace apxa::core {
+
+class RoundCollector {
+ public:
+  explicit RoundCollector(SystemParams params);
+
+  /// Record this party's own round-r value.  Must be called exactly once per
+  /// round, in increasing round order.
+  void add_own(Round r, double value);
+
+  /// Record a round-r value received from another party.  Values arriving
+  /// after the round's view froze are dropped, as are duplicates.
+  void add_remote(ProcessId from, Round r, double value);
+
+  /// Whether round r's view is complete (own value present and quorum met).
+  [[nodiscard]] bool ready(Round r) const;
+
+  /// The frozen view of round r (exactly n - t values, own included), in
+  /// arrival order.  Only valid once ready(r).
+  [[nodiscard]] const std::vector<double>& view(Round r) const;
+
+  /// Senders that contributed to round r's view so far (own id included once
+  /// add_own was called).
+  [[nodiscard]] const std::vector<ProcessId>& contributors(Round r) const;
+
+  /// Drop state for rounds < r (keeps memory bounded in long runs).
+  void forget_before(Round r);
+
+  [[nodiscard]] SystemParams params() const { return params_; }
+
+ private:
+  struct Slot {
+    std::vector<double> values;         // arrival order, frozen at quorum
+    std::vector<ProcessId> contributors;  // parallel to values
+    bool own_added = false;
+    bool frozen = false;
+  };
+
+  Slot& slot(Round r);
+  void maybe_freeze(Slot& s) const;
+
+  SystemParams params_;
+  std::map<Round, Slot> slots_;
+};
+
+}  // namespace apxa::core

@@ -1,0 +1,88 @@
+#include "core/sync_aa.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+#include "core/bounds.hpp"
+
+namespace apxa::core {
+
+namespace {
+
+SyncAaReport finish_report(SyncResult res, const std::vector<double>& inputs,
+                           const std::vector<bool>& faulty, double eps, Round rounds) {
+  SyncAaReport rep;
+  rep.rounds_run = rounds;
+
+  std::vector<double> correct_inputs;
+  for (ProcessId p = 0; p < inputs.size(); ++p) {
+    if (!faulty[p]) correct_inputs.push_back(inputs[p]);
+  }
+  const Interval hull = hull_of(correct_inputs);
+
+  std::vector<double> outs;
+  for (const auto& v : res.final_values) {
+    if (v) outs.push_back(*v);
+  }
+  rep.validity_ok =
+      std::all_of(outs.begin(), outs.end(), [&](double y) { return hull.contains(y); });
+  std::sort(outs.begin(), outs.end());
+  rep.worst_pair_gap = spread(outs);
+  rep.agreement_ok = rep.worst_pair_gap <= eps + 1e-12;
+  rep.sync = std::move(res);
+  return rep;
+}
+
+}  // namespace
+
+SyncAaReport run_dlpsw_sync(SystemParams params, const std::vector<double>& inputs,
+                            double eps, const std::vector<adversary::ByzSpec>& byz) {
+  APXA_ENSURE(resilience_byz_sync(params.n, params.t), "DLPSW sync requires n > 3t");
+  std::vector<bool> faulty(params.n, false);
+  std::vector<double> correct_inputs;
+  for (const auto& b : byz) faulty.at(b.who) = true;
+  for (ProcessId p = 0; p < params.n; ++p) {
+    if (!faulty[p]) correct_inputs.push_back(inputs[p]);
+  }
+
+  const double k = predicted_factor_dlpsw_sync(params.n, params.t);
+  std::sort(correct_inputs.begin(), correct_inputs.end());
+  const Round rounds = std::max<Round>(1, rounds_needed(spread(correct_inputs), eps, k));
+
+  SyncConfig cfg;
+  cfg.params = params;
+  cfg.inputs = inputs;
+  cfg.averager = Averager::kDlpswSync;
+  cfg.rounds = rounds;
+  cfg.byz = byz;
+  return finish_report(run_sync(cfg), inputs, faulty, eps, rounds);
+}
+
+SyncAaReport run_crash_sync(SystemParams params, const std::vector<double>& inputs,
+                            double eps, const std::vector<SyncCrash>& crashes) {
+  APXA_ENSURE(resilience_crash_async(params.n, params.t), "crash sync requires n > 2t");
+  std::vector<bool> faulty(params.n, false);
+  for (const auto& c : crashes) faulty.at(c.who) = true;
+
+  std::vector<double> correct_inputs;
+  for (ProcessId p = 0; p < params.n; ++p) {
+    if (!faulty[p]) correct_inputs.push_back(inputs[p]);
+  }
+  std::sort(correct_inputs.begin(), correct_inputs.end());
+
+  // Worst-case guaranteed factor: the adversary can concentrate all t crashes
+  // in one round, but across R rounds the *product* of factors is what
+  // matters; budgeting with the single-round guarantee (n - t)/t is safe.
+  const double k = predicted_factor_crash_sync_mean(params.n, params.t);
+  const Round rounds = std::max<Round>(1, rounds_needed(spread(correct_inputs), eps, k));
+
+  SyncConfig cfg;
+  cfg.params = params;
+  cfg.inputs = inputs;
+  cfg.averager = Averager::kMean;
+  cfg.rounds = rounds;
+  cfg.crashes = crashes;
+  return finish_report(run_sync(cfg), inputs, faulty, eps, rounds);
+}
+
+}  // namespace apxa::core

@@ -1,0 +1,35 @@
+// Synchronous approximate-agreement wrappers (baseline protocols).
+//
+//   dlpsw_sync  — DLPSW JACM'86 byzantine protocol (t < n/3): every round,
+//                 full exchange then mean ∘ select_t ∘ reduce_t.
+//   crash_sync  — synchronous crash-fault protocol with the mean rule
+//                 (Fekete PODC'86's subject): convergence ~ n/t per round.
+//
+// Both run for ceil(log_K(S/eps)) lock-step rounds; synchrony makes the
+// round budget trivially agreeable (everyone derives it from the same public
+// bound), so unlike the asynchronous case no termination machinery exists.
+#pragma once
+
+#include "core/sync_engine.hpp"
+
+namespace apxa::core {
+
+struct SyncAaReport {
+  SyncResult sync;
+  bool validity_ok = false;
+  double worst_pair_gap = 0.0;
+  bool agreement_ok = false;
+  Round rounds_run = 0;
+};
+
+/// Run DLPSW synchronous byzantine AA to eps-agreement, with the round budget
+/// derived from the correct inputs' actual spread (public in synchrony after
+/// one exchange).  `byz` entries occupy the fault budget.
+SyncAaReport run_dlpsw_sync(SystemParams params, const std::vector<double>& inputs,
+                            double eps, const std::vector<adversary::ByzSpec>& byz);
+
+/// Run the synchronous crash-fault protocol (mean rule) to eps-agreement.
+SyncAaReport run_crash_sync(SystemParams params, const std::vector<double>& inputs,
+                            double eps, const std::vector<SyncCrash>& crashes);
+
+}  // namespace apxa::core

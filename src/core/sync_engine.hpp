@@ -1,0 +1,56 @@
+// Lock-step synchronous round engine — the baseline model the asynchronous
+// results are contrasted against (DLPSW JACM'86 synchronous protocols and
+// Fekete PODC'86 synchronous convergence rates).
+//
+// Semantics per round:
+//   - every alive correct party multicasts its current value; every alive
+//     party receives it (synchrony: no omissions from correct senders);
+//   - a party crashing in round r delivers its round-r value to an
+//     adversary-chosen subset of receivers and is dead afterwards;
+//   - byzantine parties send an arbitrary, possibly different, value to each
+//     receiver every round (strategy-driven, mirroring adversary/byzantine);
+//   - each receiver applies the configured averaging rule to everything it
+//     received this round (its own value included).
+//
+// The engine runs a fixed number of rounds and reports per-round spreads and
+// message counts; termination in synchrony is trivial (everyone stops after
+// R = ceil(log_K(S/eps)) rounds), so no adaptive machinery is needed.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "adversary/byzantine.hpp"
+#include "common/ids.hpp"
+#include "core/multiset_ops.hpp"
+
+namespace apxa::core {
+
+/// Crash schedule entry for the synchronous model.
+struct SyncCrash {
+  ProcessId who = kNoProcess;
+  Round round = 0;                      ///< last (partial) round of activity
+  std::vector<ProcessId> receivers;     ///< who still gets the round-r value
+};
+
+struct SyncConfig {
+  SystemParams params;
+  std::vector<double> inputs;           ///< size n (faulty parties' unused)
+  Averager averager = Averager::kMean;
+  Round rounds = 1;
+  std::vector<SyncCrash> crashes;
+  std::vector<adversary::ByzSpec> byz;  ///< synchronous byzantine strategies
+};
+
+struct SyncResult {
+  /// Values of never-faulty parties after each round; [0] is the inputs.
+  std::vector<std::vector<double>> values_by_round;
+  std::vector<double> spread_by_round;  ///< spread of the above
+  std::uint64_t messages = 0;           ///< point-to-point sends
+  /// Final values, indexed by party; nullopt for faulty parties.
+  std::vector<std::optional<double>> final_values;
+};
+
+SyncResult run_sync(const SyncConfig& cfg);
+
+}  // namespace apxa::core

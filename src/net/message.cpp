@@ -1,0 +1,3 @@
+#include "net/message.hpp"
+
+namespace apxa::net {}

@@ -1,0 +1,25 @@
+// Network message envelope.
+//
+// A Message is what travels between parties: an opaque serialized payload
+// plus routing metadata.  The simulator assigns each message a global
+// sequence number (deterministic tie-breaking) and a virtual send time.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+
+namespace apxa::net {
+
+struct Message {
+  std::uint64_t seq = 0;     ///< global send order, unique per simulation
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  double send_time = 0.0;    ///< virtual time at which send() was called
+  Bytes payload;
+
+  [[nodiscard]] std::size_t payload_bytes() const { return payload.size(); }
+};
+
+}  // namespace apxa::net

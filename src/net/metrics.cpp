@@ -1,0 +1,3 @@
+#include "net/metrics.hpp"
+
+namespace apxa::net {}

@@ -1,0 +1,35 @@
+// Communication metrics, accounted the way the approximate-agreement
+// literature counts complexity:
+//   message complexity  = number of point-to-point messages sent,
+//   communication (bits) = total encoded payload size,
+//   latency             = virtual time normalized so that the maximum delay
+//                         between correct parties is Delta = 1.0; a protocol
+//                         finishing at time R therefore ran in R "rounds".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace apxa::net {
+
+struct Metrics {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;   ///< sends by already-crashed parties
+  std::uint64_t payload_bytes = 0;      ///< sum of payload sizes over sends
+
+  std::vector<std::uint64_t> sent_by;   ///< per-sender message counts
+  std::vector<std::uint64_t> bytes_by;  ///< per-sender payload bytes
+
+  void reset(std::uint32_t n) {
+    *this = Metrics{};
+    sent_by.assign(n, 0);
+    bytes_by.assign(n, 0);
+  }
+
+  [[nodiscard]] std::uint64_t payload_bits() const { return payload_bytes * 8; }
+};
+
+}  // namespace apxa::net

@@ -1,0 +1,54 @@
+// Protocol process interface.
+//
+// Protocol logic is written as an event-driven state machine against this
+// interface, independent of the transport that runs it.  The same Process
+// objects run on the deterministic simulator (net::SimNetwork) and on the
+// threaded runtime (rt::ThreadNetwork).
+//
+// Conventions:
+//  - multicast(payload) sends to every *other* party; a process accounts for
+//    its own contribution locally (the classic "n - t values including your
+//    own" rule is implemented inside the protocols).
+//  - output() becomes non-empty at most once and never changes afterwards.
+//  - Byzantine parties are ordinary Process implementations that misbehave;
+//    per-receiver send() already gives them full equivocation power.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+
+namespace apxa::net {
+
+/// Transport handle given to a process on every upcall.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  /// Send payload to one party.  Sending to self is a usage error; protocols
+  /// consume their own values directly.
+  virtual void send(ProcessId to, Bytes payload) = 0;
+
+  /// Send payload to every other party (n - 1 point-to-point messages).
+  virtual void multicast(const Bytes& payload) = 0;
+
+  [[nodiscard]] virtual ProcessId self() const = 0;
+  [[nodiscard]] virtual SystemParams params() const = 0;
+};
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// Called once, before any message delivery.
+  virtual void on_start(Context& ctx) = 0;
+
+  /// Called for each delivered message.
+  virtual void on_message(Context& ctx, ProcessId from, BytesView payload) = 0;
+
+  /// Protocol output, if decided.  Remains stable once set.
+  [[nodiscard]] virtual std::optional<double> output() const { return std::nullopt; }
+};
+
+}  // namespace apxa::net

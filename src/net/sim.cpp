@@ -1,0 +1,231 @@
+#include "net/sim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace apxa::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+/// Per-delivery context handed to processes; forwards sends to the network.
+class SimNetwork::ContextImpl final : public Context {
+ public:
+  ContextImpl(SimNetwork& net, ProcessId self) : net_(net), self_(self) {}
+
+  void send(ProcessId to, Bytes payload) override {
+    APXA_ENSURE(to < net_.params_.n, "send: receiver out of range");
+    APXA_ENSURE(to != self_, "send: use local state instead of self-messages");
+    net_.do_send(self_, to, std::move(payload));
+  }
+
+  void multicast(const Bytes& payload) override { net_.do_multicast(self_, payload); }
+
+  [[nodiscard]] ProcessId self() const override { return self_; }
+  [[nodiscard]] SystemParams params() const override { return net_.params_; }
+
+ private:
+  SimNetwork& net_;
+  ProcessId self_;
+};
+
+SimNetwork::SimNetwork(SystemParams params, std::unique_ptr<sched::Scheduler> scheduler)
+    : params_(params), scheduler_(std::move(scheduler)) {
+  APXA_ENSURE(params_.n >= 1, "need at least one party");
+  APXA_ENSURE(params_.t < params_.n, "t must be < n");
+  APXA_ENSURE(scheduler_ != nullptr, "scheduler required");
+  status_.assign(params_.n, PartyStatus::kCorrect);
+  sends_made_.assign(params_.n, 0);
+  crash_send_limit_.assign(params_.n, kNoLimit);
+  crash_time_.assign(params_.n, kInf);
+  multicast_order_.resize(params_.n);
+  output_time_.assign(params_.n, kInf);
+  metrics_.reset(params_.n);
+}
+
+void SimNetwork::add_process(std::unique_ptr<Process> p) {
+  APXA_ENSURE(!started_, "cannot add processes after start()");
+  APXA_ENSURE(p != nullptr, "null process");
+  APXA_ENSURE(procs_.size() < params_.n, "all n processes already added");
+  procs_.push_back(std::move(p));
+}
+
+void SimNetwork::mark_byzantine(ProcessId p) {
+  APXA_ENSURE(p < params_.n, "byzantine id out of range");
+  APXA_ENSURE(!started_, "mark_byzantine must precede start()");
+  status_[p] = PartyStatus::kByzantine;
+}
+
+void SimNetwork::crash_after_sends(ProcessId p, std::uint64_t count) {
+  APXA_ENSURE(p < params_.n, "crash id out of range");
+  crash_send_limit_[p] = count;
+  if (sends_made_[p] >= count) status_[p] = PartyStatus::kCrashed;
+}
+
+void SimNetwork::crash_at_time(ProcessId p, double time) {
+  APXA_ENSURE(p < params_.n, "crash id out of range");
+  APXA_ENSURE(time >= 0.0, "crash time must be non-negative");
+  crash_time_[p] = time;
+}
+
+void SimNetwork::enable_duplication(double prob, std::uint64_t seed) {
+  APXA_ENSURE(prob >= 0.0 && prob <= 1.0, "duplication probability in [0, 1]");
+  duplication_prob_ = prob;
+  duplication_rng_.emplace(seed);
+}
+
+void SimNetwork::set_multicast_order(ProcessId p, std::vector<ProcessId> order) {
+  APXA_ENSURE(p < params_.n, "multicast order id out of range");
+  for (ProcessId q : order) {
+    APXA_ENSURE(q < params_.n && q != p, "multicast order must list other parties");
+  }
+  multicast_order_[p] = std::move(order);
+}
+
+void SimNetwork::start() {
+  APXA_ENSURE(procs_.size() == params_.n, "add_process must be called n times");
+  APXA_ENSURE(!started_, "start() called twice");
+  started_ = true;
+  apply_timed_crashes(0.0);
+  for (ProcessId p = 0; p < params_.n; ++p) {
+    if (status_[p] == PartyStatus::kCrashed) continue;
+    ContextImpl ctx(*this, p);
+    procs_[p]->on_start(ctx);
+  }
+  note_outputs();
+}
+
+void SimNetwork::do_send(ProcessId from, ProcessId to, Bytes payload) {
+  if (status_[from] == PartyStatus::kCrashed) return;
+  if (sends_made_[from] >= crash_send_limit_[from]) {
+    // The crash fires exactly at this send: the message is lost.
+    status_[from] = PartyStatus::kCrashed;
+    ++metrics_.messages_dropped;
+    return;
+  }
+  ++sends_made_[from];
+
+  Message m;
+  m.seq = next_seq_++;
+  m.from = from;
+  m.to = to;
+  m.send_time = now_;
+  m.payload = std::move(payload);
+
+  ++metrics_.messages_sent;
+  metrics_.payload_bytes += m.payload.size();
+  ++metrics_.sent_by[from];
+  metrics_.bytes_by[from] += m.payload.size();
+
+  const double d = sched::clamp_delay(scheduler_->delay(m));
+  if (duplication_rng_ && duplication_rng_->next_bool(duplication_prob_)) {
+    Message dup = m;  // same seq: it is the same message, delivered twice
+    const double dd = sched::clamp_delay(scheduler_->delay(dup));
+    queue_.push(Pending{now_ + dd, next_seq_++, std::move(dup)});
+  }
+  queue_.push(Pending{now_ + d, m.seq, std::move(m)});
+
+  // A send-limit crash that lands exactly on the new count takes effect now,
+  // so a multicast in progress stops at this receiver.
+  if (sends_made_[from] >= crash_send_limit_[from]) {
+    status_[from] = PartyStatus::kCrashed;
+  }
+}
+
+void SimNetwork::do_multicast(ProcessId from, const Bytes& payload) {
+  if (!multicast_order_[from].empty()) {
+    for (ProcessId to : multicast_order_[from]) do_send(from, to, payload);
+    return;
+  }
+  for (ProcessId to = 0; to < params_.n; ++to) {
+    if (to == from) continue;
+    do_send(from, to, payload);
+  }
+}
+
+void SimNetwork::apply_timed_crashes(double up_to) {
+  for (ProcessId p = 0; p < params_.n; ++p) {
+    if (crash_time_[p] <= up_to && status_[p] == PartyStatus::kCorrect) {
+      status_[p] = PartyStatus::kCrashed;
+    }
+  }
+}
+
+void SimNetwork::note_outputs() {
+  for (ProcessId p = 0; p < params_.n; ++p) {
+    if (output_time_[p] == kInf && procs_[p]->output().has_value()) {
+      output_time_[p] = now_;
+    }
+  }
+}
+
+RunStatus SimNetwork::run_until(const std::function<bool()>& pred,
+                                std::uint64_t max_deliveries) {
+  APXA_ENSURE(started_, "call start() before run()");
+  if (pred && pred()) return RunStatus::kPredicateSatisfied;
+  std::uint64_t delivered = 0;
+  while (!queue_.empty()) {
+    if (delivered >= max_deliveries) return RunStatus::kBudgetExhausted;
+    Pending next = queue_.top();
+    queue_.pop();
+    now_ = std::max(now_, next.time);
+    apply_timed_crashes(now_);
+
+    const Message& m = next.msg;
+    if (status_[m.to] == PartyStatus::kCrashed) continue;  // dropped silently
+    ++delivered;
+    ++metrics_.messages_delivered;
+    scheduler_->on_deliver(m);
+
+    ContextImpl ctx(*this, m.to);
+    procs_[m.to]->on_message(ctx, m.from, m.payload);
+    note_outputs();
+    if (pred && pred()) return RunStatus::kPredicateSatisfied;
+  }
+  return RunStatus::kQueueDrained;
+}
+
+RunStatus SimNetwork::run(std::uint64_t max_deliveries) {
+  return run_until(nullptr, max_deliveries);
+}
+
+bool SimNetwork::all_correct_output() const {
+  for (ProcessId p = 0; p < params_.n; ++p) {
+    if (status_[p] == PartyStatus::kCorrect && !procs_[p]->output().has_value()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Process& SimNetwork::process(ProcessId p) {
+  APXA_ENSURE(p < procs_.size(), "process id out of range");
+  return *procs_[p];
+}
+
+const Process& SimNetwork::process(ProcessId p) const {
+  APXA_ENSURE(p < procs_.size(), "process id out of range");
+  return *procs_[p];
+}
+
+PartyStatus SimNetwork::status(ProcessId p) const {
+  APXA_ENSURE(p < status_.size(), "process id out of range");
+  return status_[p];
+}
+
+std::vector<double> SimNetwork::correct_outputs() const {
+  std::vector<double> out;
+  for (ProcessId p = 0; p < params_.n; ++p) {
+    if (status_[p] != PartyStatus::kCorrect) continue;
+    if (const auto y = procs_[p]->output()) out.push_back(*y);
+  }
+  return out;
+}
+
+double SimNetwork::output_time(ProcessId p) const {
+  APXA_ENSURE(p < output_time_.size(), "process id out of range");
+  return output_time_[p];
+}
+
+}  // namespace apxa::net

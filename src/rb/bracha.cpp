@@ -1,0 +1,83 @@
+#include "rb/bracha.hpp"
+
+#include "common/ensure.hpp"
+
+namespace apxa::rb {
+
+using core::encode_rb;
+using core::MsgType;
+using core::RbMsg;
+
+BrachaHub::BrachaHub(SystemParams params, DeliverFn on_deliver)
+    : params_(params), deliver_(std::move(on_deliver)) {
+  APXA_ENSURE(params_.n > 3 * params_.t, "Bracha RB requires n > 3t");
+  APXA_ENSURE(deliver_ != nullptr, "delivery callback required");
+}
+
+void BrachaHub::broadcast(net::Context& ctx, std::uint32_t instance, double value) {
+  const Key key{instance, ctx.self()};
+  ctx.multicast(encode_rb(RbMsg{MsgType::kRbSend, instance, ctx.self(), value}));
+  // Process our own SEND locally: echo it.
+  send_echo(ctx, key, value);
+}
+
+void BrachaHub::send_echo(net::Context& ctx, const Key& key, double value) {
+  Slot& s = slots_[key];
+  if (s.echoed) return;
+  s.echoed = true;
+  ctx.multicast(encode_rb(RbMsg{MsgType::kRbEcho, key.first, key.second, value}));
+  add_echo(ctx, key, ctx.self(), value);
+}
+
+void BrachaHub::send_ready(net::Context& ctx, const Key& key, double value) {
+  Slot& s = slots_[key];
+  if (s.ready_sent) return;
+  s.ready_sent = true;
+  ctx.multicast(encode_rb(RbMsg{MsgType::kRbReady, key.first, key.second, value}));
+  add_ready(ctx, key, ctx.self(), value);
+}
+
+void BrachaHub::add_echo(net::Context& ctx, const Key& key, ProcessId voter,
+                         double value) {
+  Slot& s = slots_[key];
+  auto& voters = s.echoes[value];
+  if (!voters.insert(voter).second) return;
+  if (voters.size() >= params_.quorum()) send_ready(ctx, key, value);
+}
+
+void BrachaHub::add_ready(net::Context& ctx, const Key& key, ProcessId voter,
+                          double value) {
+  Slot& s = slots_[key];
+  auto& voters = s.readies[value];
+  if (!voters.insert(voter).second) return;
+  if (voters.size() >= params_.t + 1) send_ready(ctx, key, value);
+  if (voters.size() >= 2 * params_.t + 1 && !s.delivered) {
+    s.delivered = true;
+    deliver_(ctx, key.first, key.second, value);
+  }
+}
+
+bool BrachaHub::handle(net::Context& ctx, ProcessId from, BytesView payload) {
+  const auto m = core::decode_rb(payload);
+  if (!m) return false;
+  APXA_ENSURE(m->origin < params_.n, "RB origin out of range");
+  const Key key{m->instance, m->origin};
+  switch (m->type) {
+    case MsgType::kRbSend:
+      // Authenticated channels: a SEND for origin o is only honored when it
+      // arrives from o itself (byzantine parties cannot forge senders).
+      if (from == m->origin) send_echo(ctx, key, m->value);
+      break;
+    case MsgType::kRbEcho:
+      add_echo(ctx, key, from, m->value);
+      break;
+    case MsgType::kRbReady:
+      add_ready(ctx, key, from, m->value);
+      break;
+    default:
+      return false;
+  }
+  return true;
+}
+
+}  // namespace apxa::rb

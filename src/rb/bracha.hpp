@@ -1,0 +1,80 @@
+// Bracha's asynchronous reliable broadcast (Information & Computation 1987),
+// multiplexed over (instance, origin) pairs.
+//
+// Guarantees with n > 3t (byzantine faults):
+//   validity    — if a correct origin broadcasts v, every correct party
+//                 eventually delivers (origin, v);
+//   agreement   — no two correct parties deliver different values for the
+//                 same (instance, origin);
+//   totality    — if any correct party delivers, every correct party
+//                 eventually delivers.
+//
+// Message flow for one (instance, origin):
+//   origin multicasts SEND(v)
+//   on SEND(v) from the origin itself: multicast ECHO(v)          (once)
+//   on n - t ECHO(v):                  multicast READY(v)         (once)
+//   on t + 1 READY(v):                 multicast READY(v)         (once)
+//   on 2t + 1 READY(v):                deliver v                  (once)
+//
+// Quorum intersection: two n - t ECHO quorums share n - 2t >= t + 1 parties,
+// at least one correct, so no two READY waves carry different values; the
+// t + 1 READY amplification gives totality.
+//
+// The hub is a component embedded in a Process: the owner feeds every
+// incoming payload to handle(), which returns true when it consumed an RB
+// message.  Own ECHO/READY votes are counted locally without self-messages.
+// Cost per broadcast: O(n^2) messages — the reason the witness technique
+// costs Theta(n^3) per iteration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/ids.hpp"
+#include "core/codec.hpp"
+#include "net/process.hpp"
+
+namespace apxa::rb {
+
+class BrachaHub {
+ public:
+  /// Called exactly once per (instance, origin) on delivery.
+  using DeliverFn =
+      std::function<void(net::Context&, std::uint32_t instance, ProcessId origin,
+                         double value)>;
+
+  BrachaHub(SystemParams params, DeliverFn on_deliver);
+
+  /// Reliably broadcast `value` under `instance` (the caller is the origin).
+  void broadcast(net::Context& ctx, std::uint32_t instance, double value);
+
+  /// Feed an incoming payload; returns true if it was an RB message.
+  bool handle(net::Context& ctx, ProcessId from, BytesView payload);
+
+  /// Number of (instance, origin) slots with state (diagnostics).
+  [[nodiscard]] std::size_t live_slots() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    bool echoed = false;
+    bool ready_sent = false;
+    bool delivered = false;
+    std::map<double, std::set<ProcessId>> echoes;
+    std::map<double, std::set<ProcessId>> readies;
+  };
+
+  using Key = std::pair<std::uint32_t, ProcessId>;
+
+  void add_echo(net::Context& ctx, const Key& key, ProcessId voter, double value);
+  void add_ready(net::Context& ctx, const Key& key, ProcessId voter, double value);
+  void send_echo(net::Context& ctx, const Key& key, double value);
+  void send_ready(net::Context& ctx, const Key& key, double value);
+
+  SystemParams params_;
+  DeliverFn deliver_;
+  std::map<Key, Slot> slots_;
+};
+
+}  // namespace apxa::rb

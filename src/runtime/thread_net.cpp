@@ -1,0 +1,167 @@
+#include "runtime/thread_net.hpp"
+
+#include <chrono>
+
+#include "common/ensure.hpp"
+
+namespace apxa::rt {
+
+class ThreadNetwork::ContextImpl final : public net::Context {
+ public:
+  ContextImpl(ThreadNetwork& net, ProcessId self) : net_(net), self_(self) {}
+
+  void send(ProcessId to, Bytes payload) override {
+    APXA_ENSURE(to < net_.params_.n, "send: receiver out of range");
+    APXA_ENSURE(to != self_, "send: no self-messages");
+    net_.post(self_, to, std::move(payload));
+  }
+
+  void multicast(const Bytes& payload) override {
+    for (ProcessId to = 0; to < net_.params_.n; ++to) {
+      if (to == self_) continue;
+      net_.post(self_, to, payload);
+    }
+  }
+
+  [[nodiscard]] ProcessId self() const override { return self_; }
+  [[nodiscard]] SystemParams params() const override { return net_.params_; }
+
+ private:
+  ThreadNetwork& net_;
+  ProcessId self_;
+};
+
+ThreadNetwork::ThreadNetwork(SystemParams params)
+    : params_(params),
+      crashed_(params.n),
+      has_output_(params.n),
+      output_value_(params.n) {
+  APXA_ENSURE(params_.n >= 1 && params_.t < params_.n, "bad system params");
+  boxes_.reserve(params_.n);
+  for (std::uint32_t i = 0; i < params_.n; ++i) {
+    boxes_.push_back(std::make_unique<Mailbox>());
+    crashed_[i] = false;
+    has_output_[i] = false;
+    output_value_[i] = 0.0;
+  }
+  metrics_.reset(params_.n);
+}
+
+ThreadNetwork::~ThreadNetwork() {
+  for (auto& th : threads_) th.request_stop();
+  for (auto& box : boxes_) box->cv.notify_all();
+  // jthread joins on destruction.
+}
+
+void ThreadNetwork::add_process(std::unique_ptr<net::Process> p) {
+  APXA_ENSURE(!started_.load(), "cannot add processes after run()");
+  APXA_ENSURE(p != nullptr, "null process");
+  APXA_ENSURE(procs_.size() < params_.n, "all n processes already added");
+  procs_.push_back(std::move(p));
+}
+
+void ThreadNetwork::crash(ProcessId p) {
+  APXA_ENSURE(p < params_.n, "crash id out of range");
+  crashed_[p] = true;
+  boxes_[p]->cv.notify_all();
+}
+
+void ThreadNetwork::post(ProcessId from, ProcessId to, Bytes payload) {
+  if (crashed_[from].load(std::memory_order_relaxed)) return;
+  {
+    std::scoped_lock lock(metrics_mu_);
+    ++metrics_.messages_sent;
+    metrics_.payload_bytes += payload.size();
+    ++metrics_.sent_by[from];
+    metrics_.bytes_by[from] += payload.size();
+  }
+  Mailbox& box = *boxes_[to];
+  {
+    std::scoped_lock lock(box.mu);
+    box.queue.emplace_back(from, std::move(payload));
+  }
+  box.cv.notify_one();
+}
+
+void ThreadNetwork::deliver_loop(ProcessId p, std::stop_token st) {
+  ContextImpl ctx(*this, p);
+  auto publish = [this, p] {
+    if (has_output_[p].load(std::memory_order_acquire)) return;
+    if (const auto y = procs_[p]->output()) {
+      output_value_[p].store(*y, std::memory_order_release);
+      has_output_[p].store(true, std::memory_order_release);
+    }
+  };
+  if (!crashed_[p].load()) {
+    procs_[p]->on_start(ctx);
+    publish();
+  }
+
+  Mailbox& box = *boxes_[p];
+  while (!st.stop_requested()) {
+    std::pair<ProcessId, Bytes> item;
+    {
+      std::unique_lock lock(box.mu);
+      box.cv.wait_for(lock, std::chrono::milliseconds(10), [&] {
+        return st.stop_requested() || !box.queue.empty();
+      });
+      if (st.stop_requested()) return;
+      if (box.queue.empty()) continue;
+      item = std::move(box.queue.front());
+      box.queue.pop_front();
+    }
+    if (crashed_[p].load(std::memory_order_relaxed)) continue;
+    {
+      std::scoped_lock lock(metrics_mu_);
+      ++metrics_.messages_delivered;
+    }
+    procs_[p]->on_message(ctx, item.first, item.second);
+    publish();
+  }
+}
+
+bool ThreadNetwork::run(std::chrono::milliseconds timeout) {
+  APXA_ENSURE(procs_.size() == params_.n, "add_process must be called n times");
+  APXA_ENSURE(!started_.exchange(true), "run() called twice");
+
+  threads_.reserve(params_.n);
+  for (ProcessId p = 0; p < params_.n; ++p) {
+    threads_.emplace_back(
+        [this, p](std::stop_token st) { deliver_loop(p, st); });
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  bool done = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    done = true;
+    for (ProcessId p = 0; p < params_.n; ++p) {
+      if (crashed_[p].load()) continue;
+      if (!has_output_[p].load(std::memory_order_acquire)) {
+        done = false;
+        break;
+      }
+    }
+    if (done) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  for (auto& th : threads_) th.request_stop();
+  for (auto& box : boxes_) box->cv.notify_all();
+  for (auto& th : threads_) {
+    if (th.joinable()) th.join();
+  }
+  return done;
+}
+
+std::vector<double> ThreadNetwork::correct_outputs() const {
+  std::vector<double> out;
+  for (ProcessId p = 0; p < params_.n; ++p) {
+    if (crashed_[p].load()) continue;
+    if (has_output_[p].load(std::memory_order_acquire)) {
+      out.push_back(output_value_[p].load(std::memory_order_acquire));
+    }
+  }
+  return out;
+}
+
+}  // namespace apxa::rt

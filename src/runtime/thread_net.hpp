@@ -1,0 +1,80 @@
+// Threaded in-process runtime: the same Process objects, real concurrency.
+//
+// The deterministic simulator is the workhorse for experiments; this runtime
+// demonstrates that the protocol state machines are transport-independent and
+// exercises them under genuine (OS-scheduler) asynchrony, which is the kind
+// of "manual threading/messaging boilerplate" a deployment needs.
+//
+// Design: one jthread and one mailbox (mutex + condition variable) per party.
+// send() enqueues into the receiver's mailbox; each thread loops popping
+// messages and invoking on_message.  A party's Process is only ever touched
+// by its own thread.  Crash injection: crash(p) makes the party drop all
+// future sends and deliveries.  Stop: request_stop() after the completion
+// predicate holds; threads drain and join (jthread joins on destruction —
+// CP.25's joining-thread discipline).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "net/metrics.hpp"
+#include "net/process.hpp"
+
+namespace apxa::rt {
+
+class ThreadNetwork final {
+ public:
+  explicit ThreadNetwork(SystemParams params);
+  ~ThreadNetwork();
+
+  ThreadNetwork(const ThreadNetwork&) = delete;
+  ThreadNetwork& operator=(const ThreadNetwork&) = delete;
+
+  /// Register party `id == number added so far`; all n before run().
+  void add_process(std::unique_ptr<net::Process> p);
+
+  /// Mark a party crashed: all its future sends and deliveries are dropped.
+  /// Safe to call while running.
+  void crash(ProcessId p);
+
+  /// Start all threads, wait until every non-crashed party has an output or
+  /// the timeout elapses; then stop and join.  Returns true when all correct
+  /// parties produced outputs.
+  bool run(std::chrono::milliseconds timeout);
+
+  [[nodiscard]] std::vector<double> correct_outputs() const;
+  [[nodiscard]] const net::Metrics& metrics() const { return metrics_; }
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::pair<ProcessId, Bytes>> queue;
+  };
+
+  class ContextImpl;
+
+  void deliver_loop(ProcessId p, std::stop_token st);
+  void post(ProcessId from, ProcessId to, Bytes payload);
+
+  SystemParams params_;
+  std::vector<std::unique_ptr<net::Process>> procs_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::vector<std::atomic<bool>> crashed_;
+  // Output mirrors: each worker thread publishes its process's output here so
+  // the coordinator can poll without racing on Process state.
+  std::vector<std::atomic<bool>> has_output_;
+  std::vector<std::atomic<double>> output_value_;
+  std::vector<std::jthread> threads_;
+  net::Metrics metrics_;
+  std::mutex metrics_mu_;
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace apxa::rt

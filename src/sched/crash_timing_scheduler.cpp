@@ -1,0 +1,11 @@
+#include "sched/crash_timing_scheduler.hpp"
+
+namespace apxa::sched {
+
+double TargetedDelayScheduler::delay(const net::Message& m) {
+  if (const auto it = bias_.find({m.from, m.to}); it != bias_.end()) return it->second;
+  if (const auto it = sender_bias_.find(m.from); it != sender_bias_.end()) return it->second;
+  return clamp_delay(rng_.next_double(1e-6, 1.0));
+}
+
+}  // namespace apxa::sched

@@ -1,0 +1,38 @@
+// Targeted-delay scheduler: a random base schedule plus per-link biases.
+//
+// Used by the crash-timing attacks: the adversary crashes a party mid-
+// multicast (see adversary/crash_plan.*) and simultaneously delays the
+// partial multicast toward one camp so that the surviving copies skew views.
+// The bias table maps (sender, receiver) pairs to a delay override.
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "sched/scheduler.hpp"
+
+namespace apxa::sched {
+
+class TargetedDelayScheduler final : public Scheduler {
+ public:
+  explicit TargetedDelayScheduler(std::uint64_t seed) : rng_(seed) {}
+
+  /// Force every message on (from -> to) to take exactly `d` (clamped).
+  void bias_link(ProcessId from, ProcessId to, double d) {
+    bias_[{from, to}] = clamp_delay(d);
+  }
+
+  /// Force every message sent by `from` to take exactly `d` (clamped);
+  /// link-level biases take precedence.
+  void bias_sender(ProcessId from, double d) { sender_bias_[from] = clamp_delay(d); }
+
+  double delay(const net::Message& m) override;
+
+ private:
+  Rng rng_;
+  std::map<std::pair<ProcessId, ProcessId>, double> bias_;
+  std::map<ProcessId, double> sender_bias_;
+};
+
+}  // namespace apxa::sched

@@ -1,0 +1,3 @@
+#include "sched/fifo_scheduler.hpp"
+
+namespace apxa::sched {}

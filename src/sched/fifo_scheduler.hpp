@@ -1,0 +1,24 @@
+// Constant-delay scheduler: every message takes exactly half the maximum
+// delay.  All messages of a communication step arrive together, so protocols
+// behave like lock-step executions with ties broken by send order.  Useful as
+// the most benign schedule and as a determinism baseline in tests.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace apxa::sched {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  explicit FifoScheduler(double fixed_delay = 0.5) : delay_(clamp_delay(fixed_delay)) {}
+
+  double delay(const net::Message& m) override {
+    (void)m;
+    return delay_;
+  }
+
+ private:
+  double delay_;
+};
+
+}  // namespace apxa::sched

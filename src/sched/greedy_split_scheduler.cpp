@@ -1,0 +1,27 @@
+#include "sched/greedy_split_scheduler.hpp"
+
+#include <algorithm>
+
+namespace apxa::sched {
+
+double GreedySplitScheduler::delay(const net::Message& m) {
+  const auto probe = probe_ ? probe_(m.payload) : std::nullopt;
+  if (!probe) return 0.5;
+
+  if (!any_seen_) {
+    lo_seen_ = hi_seen_ = probe->value;
+    any_seen_ = true;
+  } else {
+    lo_seen_ = std::min(lo_seen_, probe->value);
+    hi_seen_ = std::max(hi_seen_, probe->value);
+  }
+
+  const double width = hi_seen_ - lo_seen_;
+  // Percentile of the carried value within the range seen so far.
+  const double pct = width > 0.0 ? (probe->value - lo_seen_) / width : 0.5;
+  // LOW camp: small values arrive early.  HIGH camp: mirrored.
+  const double ordered = low_camp(m.to) ? pct : 1.0 - pct;
+  return clamp_delay(0.05 + 0.90 * ordered);
+}
+
+}  // namespace apxa::sched

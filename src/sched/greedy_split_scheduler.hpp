@@ -1,0 +1,44 @@
+// Value-aware split-brain adversary.
+//
+// This scheduler implements the delivery strategy behind the chain-argument
+// lower bounds for asynchronous approximate agreement: it partitions the
+// receivers into a LOW camp and a HIGH camp, and delays value messages so that
+// the LOW camp receives the smallest values first and the HIGH camp receives
+// the largest values first.  Because a process only waits for the first n - t
+// round-r values, the two camps end a round with views biased toward opposite
+// ends of the value range, which maximizes the post-round spread and thus
+// minimizes the observed convergence factor.
+//
+// The scheduler is payload-agnostic: a ProbeFn supplied by the harness decodes
+// value-exchange messages.  Messages the probe cannot decode (control traffic,
+// reliable-broadcast internals) get a neutral mid delay.
+#pragma once
+
+#include <optional>
+
+#include "sched/scheduler.hpp"
+
+namespace apxa::sched {
+
+class GreedySplitScheduler final : public Scheduler {
+ public:
+  /// `probe` decodes value messages; `n` is the system size used to split
+  /// receivers into camps (ids < n/2 form the LOW camp).
+  GreedySplitScheduler(ProbeFn probe, std::uint32_t n)
+      : probe_(std::move(probe)), n_(n) {}
+
+  double delay(const net::Message& m) override;
+
+ private:
+  [[nodiscard]] bool low_camp(ProcessId p) const { return p < n_ / 2; }
+
+  ProbeFn probe_;
+  std::uint32_t n_;
+  // Running estimate of the value range, refined as messages pass through the
+  // adversary's hands (the adaptive adversary sees every payload).
+  double lo_seen_ = 0.0;
+  double hi_seen_ = 0.0;
+  bool any_seen_ = false;
+};
+
+}  // namespace apxa::sched

@@ -1,0 +1,10 @@
+#include "sched/random_scheduler.hpp"
+
+namespace apxa::sched {
+
+double RandomScheduler::delay(const net::Message& m) {
+  (void)m;
+  return clamp_delay(rng_.next_double(1e-6, 1.0));
+}
+
+}  // namespace apxa::sched

@@ -1,0 +1,19 @@
+// Uniformly random delays in (0, 1] — the "benign asynchrony" baseline.
+#pragma once
+
+#include "common/rng.hpp"
+#include "sched/scheduler.hpp"
+
+namespace apxa::sched {
+
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+
+  double delay(const net::Message& m) override;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace apxa::sched

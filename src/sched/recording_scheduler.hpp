@@ -1,0 +1,74 @@
+// Recording decorator: wraps any scheduler and keeps a structured log of
+// every send (with the delay the inner scheduler assigned) and every
+// delivery.  The log is the raw material for execution debugging, for
+// fairness audits (was any link starved beyond Delta?), and for the replay
+// assertions in the test suite.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "sched/scheduler.hpp"
+
+namespace apxa::sched {
+
+struct SendRecord {
+  std::uint64_t seq = 0;
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  double send_time = 0.0;
+  double delay = 0.0;
+  std::size_t payload_bytes = 0;
+};
+
+struct DeliverRecord {
+  std::uint64_t seq = 0;
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+};
+
+class RecordingScheduler final : public Scheduler {
+ public:
+  explicit RecordingScheduler(std::unique_ptr<Scheduler> inner)
+      : inner_(std::move(inner)) {
+    APXA_ENSURE(inner_ != nullptr, "recording scheduler needs an inner scheduler");
+  }
+
+  double delay(const net::Message& m) override {
+    const double d = clamp_delay(inner_->delay(m));
+    sends_.push_back(SendRecord{m.seq, m.from, m.to, m.send_time, d,
+                                m.payload_bytes()});
+    return d;
+  }
+
+  void on_deliver(const net::Message& m) override {
+    inner_->on_deliver(m);
+    delivers_.push_back(DeliverRecord{m.seq, m.from, m.to});
+  }
+
+  [[nodiscard]] const std::vector<SendRecord>& sends() const { return sends_; }
+  [[nodiscard]] const std::vector<DeliverRecord>& delivers() const {
+    return delivers_;
+  }
+
+  /// Largest delay assigned on any link (audit: must be <= 1.0 = Delta).
+  [[nodiscard]] double max_delay() const {
+    double d = 0.0;
+    for (const auto& s : sends_) d = std::max(d, s.delay);
+    return d;
+  }
+
+  /// Messages sent but (not yet) delivered — after a full run these are the
+  /// messages dropped at crashed receivers.
+  [[nodiscard]] std::size_t undelivered() const {
+    return sends_.size() - delivers_.size();
+  }
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+  std::vector<SendRecord> sends_;
+  std::vector<DeliverRecord> delivers_;
+};
+
+}  // namespace apxa::sched

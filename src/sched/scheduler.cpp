@@ -1,0 +1,9 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+
+namespace apxa::sched {
+
+double clamp_delay(double d) { return std::clamp(d, 1e-9, 1.0); }
+
+}  // namespace apxa::sched

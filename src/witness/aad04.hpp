@@ -1,0 +1,87 @@
+// Witness-technique asynchronous approximate agreement (Abraham, Amit, Dolev,
+// OPODIS'04) — the follow-on protocol that closed the resilience gap the 1987
+// round-based protocols left open: optimal t < n/3 byzantine resilience, at
+// the price of Theta(n^3) messages per iteration (n parallel reliable
+// broadcasts of Theta(n^2) each, plus n^2 witness reports).
+//
+// One iteration k, for party i with current value v:
+//   1. reliably broadcast (k, v) via Bracha RB;
+//   2. collect RB deliveries (origin -> value) for iteration k; when n - t
+//      are held, multicast a REPORT listing the delivered origins;
+//   3. accept a report once every origin it lists has been RB-delivered
+//      locally (reports listing fewer than n - t origins are discarded —
+//      byzantine hygiene);
+//   4. when n - t reports (own included) are accepted, freeze the view
+//      V = all values delivered so far, and set v := midpoint(reduce_t(V)).
+//
+// Why this works: any two correct parties' accepted report sets intersect in
+// n - 2t >= t + 1 reporters, so some *correct* reporter's n - t origins are
+// delivered by both — and RB agreement makes those shared values identical.
+// Views therefore differ in at most t entries each way, reduce_t launders the
+// (globally consistent) byzantine values, and the midpoint halves the spread
+// every iteration: K = 2, independent of n/t.  Contrast with the crash-model
+// mean rule's K = (n - t)/t — resilience bought with both messages and rate.
+//
+// Termination: fixed iteration budget from a public input-magnitude bound
+// (synchronized budgets need no extra machinery).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "core/async_crash.hpp"  // TraceFn
+#include "net/process.hpp"
+#include "rb/bracha.hpp"
+
+namespace apxa::witness {
+
+struct WitnessConfig {
+  SystemParams params;          ///< requires n > 3t
+  double input = 0.0;
+  Round iterations = 1;         ///< iteration budget
+  core::TraceFn trace;          ///< (party, iteration, value at entry)
+};
+
+class WitnessAaProcess final : public net::Process {
+ public:
+  explicit WitnessAaProcess(WitnessConfig cfg);
+
+  void on_start(net::Context& ctx) override;
+  void on_message(net::Context& ctx, ProcessId from, BytesView payload) override;
+  [[nodiscard]] std::optional<double> output() const override { return output_; }
+
+  [[nodiscard]] double current_value() const { return value_; }
+  [[nodiscard]] Round current_iteration() const { return iter_; }
+
+ private:
+  struct IterState {
+    std::map<ProcessId, double> delivered;      ///< RB deliveries (origin -> value)
+    std::map<ProcessId, std::vector<bool>> pending_reports;
+    std::set<ProcessId> accepted;               ///< reporters accepted
+    bool report_sent = false;
+    bool advanced = false;
+  };
+
+  void begin_iteration(net::Context& ctx);
+  void on_rb_deliver(net::Context& ctx, std::uint32_t instance, ProcessId origin,
+                     double value);
+  void on_report(net::Context& ctx, ProcessId from, std::uint32_t iter,
+                 std::vector<bool> have);
+  void recheck(net::Context& ctx, std::uint32_t iter);
+  [[nodiscard]] bool report_covered(const IterState& st,
+                                    const std::vector<bool>& have) const;
+
+  WitnessConfig cfg_;
+  rb::BrachaHub hub_;
+  std::map<std::uint32_t, IterState> iters_;
+  double value_ = 0.0;
+  Round iter_ = 0;
+  std::optional<double> output_;
+  ProcessId self_ = kNoProcess;
+  bool finished_ = false;
+};
+
+}  // namespace apxa::witness

@@ -1,0 +1,95 @@
+// Wire-format round trips, malformed-input rejection, and probe behavior.
+#include <gtest/gtest.h>
+
+#include "core/codec.hpp"
+
+namespace apxa::core {
+namespace {
+
+TEST(Codec, RoundMsgRoundTrip) {
+  const RoundMsg m{42, -3.75, 17};
+  const Bytes b = encode_round(m);
+  const auto d = decode_round(b);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->round, 42u);
+  EXPECT_EQ(d->value, -3.75);
+  EXPECT_EQ(d->budget, 17u);
+}
+
+TEST(Codec, RoundMsgCompact) {
+  // tag + 1-byte round + f64 + 1-byte budget = 11 bytes for small fields.
+  EXPECT_EQ(encode_round(RoundMsg{3, 1.0, 0}).size(), 11u);
+}
+
+TEST(Codec, DoneMsgRoundTrip) {
+  const DoneMsg m{7, 0.5};
+  const auto d = decode_done(encode_done(m));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->round, 7u);
+  EXPECT_EQ(d->value, 0.5);
+}
+
+TEST(Codec, RbMsgRoundTrip) {
+  for (MsgType t : {MsgType::kRbSend, MsgType::kRbEcho, MsgType::kRbReady}) {
+    const RbMsg m{t, 9, 4, 2.25};
+    const auto d = decode_rb(encode_rb(m));
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->type, t);
+    EXPECT_EQ(d->instance, 9u);
+    EXPECT_EQ(d->origin, 4u);
+    EXPECT_EQ(d->value, 2.25);
+  }
+}
+
+TEST(Codec, ReportMsgRoundTrip) {
+  ReportMsg m;
+  m.iter = 3;
+  m.have = {true, false, true, true, false, false, true};
+  const auto d = decode_report(encode_report(m));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->iter, 3u);
+  EXPECT_EQ(d->have, m.have);
+}
+
+TEST(Codec, CrossDecodeReturnsNullopt) {
+  const Bytes round = encode_round(RoundMsg{1, 2.0, 0});
+  EXPECT_FALSE(decode_done(round).has_value());
+  EXPECT_FALSE(decode_rb(round).has_value());
+  EXPECT_FALSE(decode_report(round).has_value());
+
+  const Bytes rb = encode_rb(RbMsg{MsgType::kRbEcho, 1, 2, 3.0});
+  EXPECT_FALSE(decode_round(rb).has_value());
+}
+
+TEST(Codec, PeekType) {
+  EXPECT_EQ(peek_type(encode_round(RoundMsg{1, 2.0, 0})), MsgType::kRound);
+  EXPECT_EQ(peek_type(encode_done(DoneMsg{1, 2.0})), MsgType::kDone);
+  EXPECT_EQ(peek_type(Bytes{}), std::nullopt);
+  Bytes junk{static_cast<std::byte>(200)};
+  EXPECT_EQ(peek_type(junk), std::nullopt);
+}
+
+TEST(Codec, TruncatedPayloadRejected) {
+  Bytes b = encode_round(RoundMsg{100000, 2.0, 5});
+  b.pop_back();
+  EXPECT_THROW(decode_round(b), std::invalid_argument);
+}
+
+TEST(Codec, TrailingGarbageRejected) {
+  Bytes b = encode_round(RoundMsg{1, 2.0, 5});
+  b.push_back(static_cast<std::byte>(0));
+  EXPECT_FALSE(decode_round(b).has_value());
+}
+
+TEST(Codec, ProbeDecodesRoundOnly) {
+  const auto probe = round_probe();
+  const auto hit = probe(encode_round(RoundMsg{5, 1.5, 0}));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->round, 5u);
+  EXPECT_EQ(hit->value, 1.5);
+  EXPECT_FALSE(probe(encode_done(DoneMsg{5, 1.5})).has_value());
+  EXPECT_FALSE(probe(encode_rb(RbMsg{MsgType::kRbSend, 1, 2, 3.0})).has_value());
+}
+
+}  // namespace
+}  // namespace apxa::core

@@ -1,0 +1,139 @@
+// Parameterized verification of the reconstructed theorems over wide (n, t)
+// grids: the analytic worst-case machinery (which enumerates adversarial
+// views exactly) must reproduce each predictor formula.  This is the
+// strongest evidence the library offers that the reconstructed constants in
+// core/bounds.* are the right ones.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/worst_case.hpp"
+#include "core/bounds.hpp"
+
+namespace apxa {
+namespace {
+
+using analysis::worst_one_round_factor;
+using analysis::WorstCaseQuery;
+using core::Averager;
+
+struct NT {
+  std::uint32_t n, t;
+};
+
+// --- Theorem 1 (headline): async crash mean rate is exactly (n - t)/t ------
+
+class CrashMeanTheorem : public ::testing::TestWithParam<NT> {};
+
+TEST_P(CrashMeanTheorem, AnalyticEqualsFormula) {
+  const auto [n, t] = GetParam();
+  WorstCaseQuery q;
+  q.params = {n, t};
+  q.averager = Averager::kMean;
+  q.random_configs = 128;
+  const double analytic = worst_one_round_factor(q).worst_factor;
+  const double formula = core::predicted_factor_crash_async_mean(n, t);
+  EXPECT_NEAR(analytic, formula, formula * 1e-9) << "n=" << n << " t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CrashMeanTheorem,
+    ::testing::Values(NT{3, 1}, NT{4, 1}, NT{5, 1}, NT{5, 2}, NT{7, 2}, NT{7, 3},
+                      NT{9, 4}, NT{10, 3}, NT{13, 6}, NT{16, 5}, NT{20, 3},
+                      NT{25, 12}, NT{31, 10}, NT{33, 16}, NT{40, 13}, NT{64, 21}));
+
+// --- Theorem 2: halving rules are pinned at 2 ------------------------------
+
+class MidpointTheorem : public ::testing::TestWithParam<NT> {};
+
+TEST_P(MidpointTheorem, AnalyticIsTwo) {
+  const auto [n, t] = GetParam();
+  WorstCaseQuery q;
+  q.params = {n, t};
+  q.averager = Averager::kMidpoint;
+  const double analytic = worst_one_round_factor(q).worst_factor;
+  EXPECT_NEAR(analytic, 2.0, 1e-9) << "n=" << n << " t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MidpointTheorem,
+                         ::testing::Values(NT{3, 1}, NT{8, 1}, NT{16, 1},
+                                           NT{16, 5}, NT{32, 1}, NT{32, 10},
+                                           NT{64, 21}));
+
+// --- Theorem 3: DLPSW async byzantine rate = floor((n-3t-1)/2t) + 1 --------
+
+class DlpswAsyncTheorem : public ::testing::TestWithParam<NT> {};
+
+TEST_P(DlpswAsyncTheorem, AnalyticMatchesSelectCount) {
+  const auto [n, t] = GetParam();
+  WorstCaseQuery q;
+  q.params = {n, t};
+  q.averager = Averager::kDlpswAsync;
+  q.byz_count = t;
+  q.random_configs = 128;
+  const double analytic = worst_one_round_factor(q).worst_factor;
+  const double formula = core::predicted_factor_dlpsw_async(n, t);
+  // The formula is the guaranteed floor; the exact optimum may not exceed it
+  // by more than one select-stride rounding step.
+  EXPECT_GE(analytic, formula - 1e-9) << "n=" << n << " t=" << t;
+  EXPECT_LE(analytic, formula + 1.0 + 1e-9) << "n=" << n << " t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DlpswAsyncTheorem,
+                         ::testing::Values(NT{6, 1}, NT{8, 1}, NT{11, 2},
+                                           NT{16, 3}, NT{16, 1}, NT{21, 4},
+                                           NT{26, 5}, NT{32, 6}, NT{41, 8}));
+
+// --- Monotonicity / dominance properties -----------------------------------
+
+TEST(TheoremShape, MeanDominatesEveryOtherRuleForCrash) {
+  for (const NT p : {NT{8, 1}, NT{12, 3}, NT{16, 3}, NT{31, 10}}) {
+    WorstCaseQuery q;
+    q.params = {p.n, p.t};
+    q.averager = Averager::kMean;
+    const double mean_k = worst_one_round_factor(q).worst_factor;
+    for (const Averager other :
+         {Averager::kMidpoint, Averager::kMedian, Averager::kReduceMidpoint}) {
+      q.averager = other;
+      EXPECT_GE(mean_k + 1e-9, worst_one_round_factor(q).worst_factor)
+          << core::averager_name(other) << " beat mean at n=" << p.n;
+    }
+  }
+}
+
+TEST(TheoremShape, CrashRateStrictlyIncreasesInN) {
+  double prev = 0.0;
+  for (std::uint32_t n = 5; n <= 45; n += 8) {
+    WorstCaseQuery q;
+    q.params = {n, 2};
+    q.averager = Averager::kMean;
+    const double k = worst_one_round_factor(q).worst_factor;
+    EXPECT_GT(k, prev);
+    prev = k;
+  }
+}
+
+TEST(TheoremShape, CrashRateDecreasesInT) {
+  double prev = 1e300;
+  for (std::uint32_t t = 1; t <= 7; ++t) {
+    WorstCaseQuery q;
+    q.params = {16, t};
+    q.averager = Averager::kMean;
+    const double k = worst_one_round_factor(q).worst_factor;
+    EXPECT_LT(k, prev);
+    prev = k;
+  }
+}
+
+TEST(TheoremShape, RoundsBudgetInverseInLogK) {
+  // Doubling the factor roughly halves the rounds needed, for large ratios.
+  const double S = 1e9, eps = 1.0;
+  const auto r2 = core::rounds_needed(S, eps, 2.0);
+  const auto r4 = core::rounds_needed(S, eps, 4.0);
+  const auto r16 = core::rounds_needed(S, eps, 16.0);
+  EXPECT_NEAR(static_cast<double>(r2) / r4, 2.0, 0.15);
+  EXPECT_NEAR(static_cast<double>(r4) / r16, 2.0, 0.15);
+}
+
+}  // namespace
+}  // namespace apxa

@@ -1,0 +1,59 @@
+// Crash-plan helpers: spec construction and application to the simulator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "adversary/crash_plan.hpp"
+
+namespace apxa::adversary {
+namespace {
+
+TEST(CrashPlan, RandomCrashesRespectBudget) {
+  Rng rng(5);
+  const SystemParams p{10, 3};
+  const auto specs = random_crashes(rng, p, 3, 4);
+  EXPECT_EQ(specs.size(), 3u);
+  std::set<ProcessId> victims;
+  for (const auto& s : specs) {
+    EXPECT_LT(s.who, p.n);
+    victims.insert(s.who);
+    EXPECT_LE(s.after_sends, static_cast<std::uint64_t>(p.n - 1) * 4);
+  }
+  EXPECT_EQ(victims.size(), 3u);  // distinct victims
+}
+
+TEST(CrashPlan, RandomCrashesRejectOverBudget) {
+  Rng rng(5);
+  EXPECT_THROW(random_crashes(rng, SystemParams{10, 3}, 4, 2),
+               std::invalid_argument);
+}
+
+TEST(CrashPlan, PartialMulticastCrashShape) {
+  const SystemParams p{6, 2};
+  const auto s = partial_multicast_crash(p, 0, 2, {3, 4});
+  EXPECT_EQ(s.who, 0u);
+  // 2 full multicasts of 5 sends, then 2 more sends.
+  EXPECT_EQ(s.after_sends, 12u);
+  ASSERT_EQ(s.multicast_order.size(), 5u);
+  EXPECT_EQ(s.multicast_order[0], 3u);
+  EXPECT_EQ(s.multicast_order[1], 4u);
+  // Remaining parties follow in id order, victim excluded.
+  EXPECT_EQ(s.multicast_order[2], 1u);
+  EXPECT_EQ(s.multicast_order[3], 2u);
+  EXPECT_EQ(s.multicast_order[4], 5u);
+}
+
+TEST(CrashPlan, DeterministicForSeed) {
+  Rng a(123), b(123);
+  const SystemParams p{7, 2};
+  const auto sa = random_crashes(a, p, 2, 3);
+  const auto sb = random_crashes(b, p, 2, 3);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].who, sb[i].who);
+    EXPECT_EQ(sa[i].after_sends, sb[i].after_sends);
+  }
+}
+
+}  // namespace
+}  // namespace apxa::adversary

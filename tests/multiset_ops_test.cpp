@@ -1,0 +1,193 @@
+// Unit and property tests for the averaging toolkit — including the
+// view-intersection lemma behind the crash-model convergence factor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "core/multiset_ops.hpp"
+
+namespace apxa::core {
+namespace {
+
+TEST(MultisetOps, ReduceDropsExtremes) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(reduce(v, 2), (std::vector<double>{3, 4, 5}));
+  EXPECT_EQ(reduce(v, 0), v);
+}
+
+TEST(MultisetOps, ReduceRequiresEnoughElements) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_THROW(reduce(v, 2), std::invalid_argument);
+  EXPECT_NO_THROW(reduce(v, 1));
+}
+
+TEST(MultisetOps, SelectEveryKth) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(select(v, 2), (std::vector<double>{1, 3, 5, 7}));
+  EXPECT_EQ(select(v, 3), (std::vector<double>{1, 4, 7}));
+  EXPECT_EQ(select(v, 1), v);
+  EXPECT_EQ(select(v, 100), (std::vector<double>{1}));
+}
+
+TEST(MultisetOps, SelectRejectsZeroK) {
+  std::vector<double> v{1};
+  EXPECT_THROW(select(v, 0), std::invalid_argument);
+}
+
+TEST(MultisetOps, MeanMidpointMedianSpread) {
+  std::vector<double> v{1, 2, 3, 10};
+  EXPECT_EQ(mean(v), 4.0);
+  EXPECT_EQ(midpoint(v), 5.5);
+  EXPECT_EQ(median(v), 2.5);
+  EXPECT_EQ(spread(v), 9.0);
+  std::vector<double> odd{1, 5, 9};
+  EXPECT_EQ(median(odd), 5.0);
+}
+
+TEST(MultisetOps, SpreadDegenerate) {
+  EXPECT_EQ(spread(std::vector<double>{}), 0.0);
+  EXPECT_EQ(spread(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(MultisetOps, HullContains) {
+  const Interval h = hull_of(std::vector<double>{2.0, -1.0, 5.0});
+  EXPECT_TRUE(h.contains(-1.0));
+  EXPECT_TRUE(h.contains(5.0));
+  EXPECT_TRUE(h.contains(0.0));
+  EXPECT_FALSE(h.contains(5.1));
+  EXPECT_FALSE(h.contains(-1.1));
+  EXPECT_EQ(h.width(), 6.0);
+}
+
+TEST(MultisetOps, ApplyAveragerUnsortedInput) {
+  // apply_averager sorts internally.
+  EXPECT_EQ(apply_averager(Averager::kMidpoint, {9, 1, 5}, 1), 5.0);
+  EXPECT_EQ(apply_averager(Averager::kMean, {9, 1, 5}, 1), 5.0);
+}
+
+TEST(MultisetOps, ReduceMidpointLaundersExtremes) {
+  // One fake extreme per side gets removed with t = 1.
+  const double y = apply_averager(Averager::kReduceMidpoint,
+                                  {-1e9, 4, 5, 6, 1e9}, 1);
+  EXPECT_EQ(y, 5.0);
+}
+
+TEST(MultisetOps, DlpswSyncComposition) {
+  // n=7, t=1 view: reduce_1 keeps middle 5, select_1 keeps all, mean.
+  const double y =
+      apply_averager(Averager::kDlpswSync, {1, 2, 3, 4, 5, 6, 7}, 1);
+  EXPECT_EQ(y, 4.0);
+}
+
+TEST(MultisetOps, DlpswAsyncComposition) {
+  // t=1: reduce_1 keeps {2..10}, select_2 keeps {2,4,6,8,10}, mean = 6.
+  const double y = apply_averager(Averager::kDlpswAsync,
+                                  {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, 1);
+  EXPECT_EQ(y, 6.0);
+}
+
+TEST(MultisetOps, ByzantineSafetyFlags) {
+  EXPECT_FALSE(averager_is_byzantine_safe(Averager::kMean));
+  EXPECT_FALSE(averager_is_byzantine_safe(Averager::kMidpoint));
+  EXPECT_FALSE(averager_is_byzantine_safe(Averager::kMedian));
+  EXPECT_TRUE(averager_is_byzantine_safe(Averager::kReduceMidpoint));
+  EXPECT_TRUE(averager_is_byzantine_safe(Averager::kDlpswSync));
+  EXPECT_TRUE(averager_is_byzantine_safe(Averager::kDlpswAsync));
+}
+
+TEST(MultisetOps, NamesAreStable) {
+  EXPECT_EQ(averager_name(Averager::kMean), "mean");
+  EXPECT_EQ(averager_name(Averager::kDlpswAsync), "dlpsw-async");
+}
+
+// ---------------------------------------------------------------------------
+// Property: every averager output lies within the hull of its (genuine)
+// input multiset — with reduce-based rules even when up to t extremes are
+// fabricated.
+// ---------------------------------------------------------------------------
+
+class AveragerHullProperty
+    : public ::testing::TestWithParam<std::tuple<Averager, int>> {};
+
+TEST_P(AveragerHullProperty, OutputInHull) {
+  const auto [avg, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const std::uint32_t t = 2;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t m = 4 * t + 1 + rng.next_below(8);
+    std::vector<double> vals(m);
+    for (auto& v : vals) v = rng.next_double(-100.0, 100.0);
+    const Interval h = hull_of(vals);
+    const double y = apply_averager(avg, vals, t);
+    EXPECT_TRUE(h.contains(y)) << averager_name(avg) << " value " << y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAveragers, AveragerHullProperty,
+    ::testing::Combine(::testing::Values(Averager::kMean, Averager::kMidpoint,
+                                         Averager::kMedian,
+                                         Averager::kReduceMidpoint,
+                                         Averager::kDlpswSync,
+                                         Averager::kDlpswAsync),
+                       ::testing::Values(1, 2, 3)));
+
+// Byzantine laundering: with at most t fabricated values, reduce-based rules
+// stay within the hull of the genuine values.
+class LaunderingProperty : public ::testing::TestWithParam<Averager> {};
+
+TEST_P(LaunderingProperty, FabricatedExtremesClipped) {
+  const Averager avg = GetParam();
+  Rng rng(99);
+  const std::uint32_t t = 2;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> genuine(4 * t + 1 + rng.next_below(6));
+    for (auto& v : genuine) v = rng.next_double(-10.0, 10.0);
+    const Interval h = hull_of(genuine);
+
+    std::vector<double> poisoned = genuine;
+    for (std::uint32_t i = 0; i < t; ++i) {
+      poisoned.push_back(rng.next_bool(0.5) ? 1e12 : -1e12);
+    }
+    const double y = apply_averager(avg, poisoned, t);
+    EXPECT_TRUE(h.contains(y)) << averager_name(avg) << " leaked " << y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ByzSafeAveragers, LaunderingProperty,
+                         ::testing::Values(Averager::kReduceMidpoint,
+                                           Averager::kDlpswSync,
+                                           Averager::kDlpswAsync));
+
+// The view-intersection lemma: two multisets of size m sharing >= m - d
+// elements have means within d/m of the spread.  This is the engine of the
+// (n - t)/t crash-model convergence factor.
+TEST(MultisetOps, MeanLipschitzInSymmetricDifference) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t m = 5 + rng.next_below(10);
+    const std::size_t d = 1 + rng.next_below(std::min<std::size_t>(m - 1, 4));
+
+    std::vector<double> common(m - d), extra_a(d), extra_b(d);
+    for (auto& v : common) v = rng.next_double();
+    for (auto& v : extra_a) v = rng.next_double();
+    for (auto& v : extra_b) v = rng.next_double();
+
+    std::vector<double> a = common, b = common;
+    a.insert(a.end(), extra_a.begin(), extra_a.end());
+    b.insert(b.end(), extra_b.begin(), extra_b.end());
+
+    std::vector<double> all = a;
+    all.insert(all.end(), extra_b.begin(), extra_b.end());
+    std::sort(all.begin(), all.end());
+    const double s = spread(all);
+
+    const double gap = std::abs(mean(a) - mean(b));
+    EXPECT_LE(gap, static_cast<double>(d) / static_cast<double>(m) * s + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace apxa::core

@@ -1,0 +1,63 @@
+// Rate extraction from spread traces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/rate_meter.hpp"
+
+namespace apxa::analysis {
+namespace {
+
+TEST(RateMeter, GeometricTrace) {
+  // Spread halves every round: sustained factor 2.
+  const std::vector<double> trace{8.0, 4.0, 2.0, 1.0};
+  const auto s = summarize_rates(trace);
+  ASSERT_TRUE(s.measurable);
+  EXPECT_NEAR(s.sustained, 2.0, 1e-12);
+  EXPECT_NEAR(s.per_round_min, 2.0, 1e-12);
+  EXPECT_NEAR(s.per_round_max, 2.0, 1e-12);
+  EXPECT_EQ(s.rounds, 3u);
+}
+
+TEST(RateMeter, MixedFactors) {
+  const std::vector<double> trace{100.0, 10.0, 5.0};
+  const auto s = summarize_rates(trace);
+  EXPECT_NEAR(s.per_round_max, 10.0, 1e-12);
+  EXPECT_NEAR(s.per_round_min, 2.0, 1e-12);
+  EXPECT_NEAR(s.sustained, std::sqrt(20.0), 1e-12);
+}
+
+TEST(RateMeter, CollapsedTailExcluded) {
+  const std::vector<double> trace{4.0, 2.0, 0.0, 0.0};
+  const auto s = summarize_rates(trace);
+  ASSERT_TRUE(s.measurable);
+  EXPECT_EQ(s.rounds, 1u);
+  EXPECT_NEAR(s.sustained, 2.0, 1e-12);
+}
+
+TEST(RateMeter, UnmeasurableTraces) {
+  EXPECT_FALSE(summarize_rates({}).measurable);
+  EXPECT_FALSE(summarize_rates({5.0}).measurable);
+  EXPECT_FALSE(summarize_rates({0.0, 0.0}).measurable);
+}
+
+TEST(RateMeter, WorstOfMerges) {
+  const auto a = summarize_rates({8.0, 4.0, 2.0});   // sustained 2
+  const auto b = summarize_rates({27.0, 9.0, 3.0});  // sustained 3
+  const auto w = worst_of({a, b});
+  ASSERT_TRUE(w.measurable);
+  EXPECT_NEAR(w.sustained, 2.0, 1e-12);
+  EXPECT_NEAR(w.per_round_max, 3.0, 1e-12);
+}
+
+TEST(RateMeter, WorstOfSkipsUnmeasurable) {
+  const auto a = summarize_rates({});
+  const auto b = summarize_rates({4.0, 1.0});
+  const auto w = worst_of({a, b});
+  ASSERT_TRUE(w.measurable);
+  EXPECT_NEAR(w.sustained, 4.0, 1e-12);
+  EXPECT_FALSE(worst_of({a, a}).measurable);
+}
+
+}  // namespace
+}  // namespace apxa::analysis

@@ -1,0 +1,109 @@
+// RoundCollector semantics: quorum freezing, buffering, duplicates.
+#include <gtest/gtest.h>
+
+#include "core/round_engine.hpp"
+
+namespace apxa::core {
+namespace {
+
+TEST(RoundCollector, FreezesAtQuorum) {
+  RoundCollector c(SystemParams{5, 1});  // quorum 4
+  c.add_own(0, 10.0);
+  EXPECT_FALSE(c.ready(0));
+  c.add_remote(1, 0, 11.0);
+  c.add_remote(2, 0, 12.0);
+  EXPECT_FALSE(c.ready(0));
+  c.add_remote(3, 0, 13.0);
+  EXPECT_TRUE(c.ready(0));
+  EXPECT_EQ(c.view(0).size(), 4u);
+}
+
+TEST(RoundCollector, LateArrivalsIgnoredAfterFreeze) {
+  RoundCollector c(SystemParams{4, 1});  // quorum 3
+  c.add_own(0, 1.0);
+  c.add_remote(1, 0, 2.0);
+  c.add_remote(2, 0, 3.0);
+  ASSERT_TRUE(c.ready(0));
+  c.add_remote(3, 0, 99.0);  // too late
+  EXPECT_EQ(c.view(0), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(RoundCollector, DuplicateSenderDropped) {
+  RoundCollector c(SystemParams{4, 1});
+  c.add_own(0, 1.0);
+  c.add_remote(1, 0, 2.0);
+  c.add_remote(1, 0, 50.0);  // byzantine duplicate: first value kept
+  EXPECT_FALSE(c.ready(0));
+  c.add_remote(2, 0, 3.0);
+  ASSERT_TRUE(c.ready(0));
+  EXPECT_EQ(c.view(0), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(RoundCollector, OwnValueAlwaysInView) {
+  // Remote values race ahead of add_own; the view must still contain the
+  // party's own value.
+  RoundCollector c(SystemParams{4, 1});  // quorum 3
+  c.add_remote(1, 0, 2.0);
+  c.add_remote(2, 0, 3.0);
+  c.add_remote(3, 0, 4.0);  // would exceed the room reserved for own value
+  EXPECT_FALSE(c.ready(0));
+  c.add_own(0, 1.0);
+  ASSERT_TRUE(c.ready(0));
+  const auto& v = c.view(0);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_NE(std::find(v.begin(), v.end(), 1.0), v.end());
+}
+
+TEST(RoundCollector, FutureRoundsBuffered) {
+  RoundCollector c(SystemParams{4, 1});
+  c.add_remote(1, 5, 7.0);
+  c.add_remote(2, 5, 8.0);
+  EXPECT_FALSE(c.ready(5));
+  c.add_own(5, 6.0);
+  EXPECT_TRUE(c.ready(5));
+}
+
+TEST(RoundCollector, IndependentRounds) {
+  RoundCollector c(SystemParams{4, 1});
+  c.add_own(0, 1.0);
+  c.add_own(1, 10.0);
+  c.add_remote(1, 0, 2.0);
+  c.add_remote(1, 1, 20.0);
+  c.add_remote(2, 1, 30.0);
+  EXPECT_FALSE(c.ready(0));
+  EXPECT_TRUE(c.ready(1));
+}
+
+TEST(RoundCollector, ForgetBeforeDropsState) {
+  RoundCollector c(SystemParams{4, 1});
+  c.add_own(0, 1.0);
+  c.add_remote(1, 0, 2.0);
+  c.add_remote(2, 0, 3.0);
+  ASSERT_TRUE(c.ready(0));
+  c.forget_before(1);
+  EXPECT_FALSE(c.ready(0));
+  EXPECT_THROW(c.view(0), std::invalid_argument);
+}
+
+TEST(RoundCollector, DoubleOwnThrows) {
+  RoundCollector c(SystemParams{4, 1});
+  c.add_own(0, 1.0);
+  EXPECT_THROW(c.add_own(0, 2.0), std::invalid_argument);
+}
+
+TEST(RoundCollector, SenderOutOfRangeThrows) {
+  RoundCollector c(SystemParams{4, 1});
+  EXPECT_THROW(c.add_remote(9, 0, 1.0), std::invalid_argument);
+}
+
+TEST(RoundCollector, MinimalSystem) {
+  // n=3, t=1: quorum 2 — own plus one remote.
+  RoundCollector c(SystemParams{3, 1});
+  c.add_own(0, 5.0);
+  EXPECT_FALSE(c.ready(0));
+  c.add_remote(2, 0, 6.0);
+  EXPECT_TRUE(c.ready(0));
+}
+
+}  // namespace
+}  // namespace apxa::core

@@ -1,0 +1,200 @@
+// Simulator semantics: determinism, delivery bounds, crash injection,
+// metrics accounting, liveness guard.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "net/sim.hpp"
+#include "sched/fifo_scheduler.hpp"
+#include "sched/random_scheduler.hpp"
+
+namespace apxa::net {
+namespace {
+
+Bytes tiny_payload(std::uint8_t b) {
+  ByteWriter w;
+  w.put_u8(b);
+  return std::move(w).take();
+}
+
+/// Echo process: multicasts one message at start; counts deliveries; outputs
+/// once it has heard from everyone else.
+class EchoProcess final : public Process {
+ public:
+  void on_start(Context& ctx) override { ctx.multicast(tiny_payload(1)); }
+
+  void on_message(Context& ctx, ProcessId from, BytesView payload) override {
+    (void)from;
+    (void)payload;
+    ++heard_;
+    if (heard_ >= ctx.params().n - 1) out_ = static_cast<double>(heard_);
+  }
+
+  [[nodiscard]] std::optional<double> output() const override { return out_; }
+
+  int heard_ = 0;
+  std::optional<double> out_;
+};
+
+SimNetwork make_echo_net(SystemParams p, std::uint64_t seed = 1) {
+  SimNetwork net(p, std::make_unique<sched::RandomScheduler>(seed));
+  for (std::uint32_t i = 0; i < p.n; ++i) {
+    net.add_process(std::make_unique<EchoProcess>());
+  }
+  return net;
+}
+
+TEST(SimNetwork, AllToAllDelivery) {
+  auto net = make_echo_net({4, 1});
+  net.start();
+  EXPECT_EQ(net.run(), RunStatus::kQueueDrained);
+  EXPECT_TRUE(net.all_correct_output());
+  EXPECT_EQ(net.metrics().messages_sent, 4u * 3u);
+  EXPECT_EQ(net.metrics().messages_delivered, 4u * 3u);
+}
+
+TEST(SimNetwork, DeterministicReplay) {
+  auto run_once = [](std::uint64_t seed) {
+    auto net = make_echo_net({6, 1}, seed);
+    net.start();
+    net.run();
+    return net.now();
+  };
+  EXPECT_EQ(run_once(77), run_once(77));
+  EXPECT_NE(run_once(77), run_once(78));
+}
+
+TEST(SimNetwork, DelaysRespectDelta) {
+  // With all messages sent at time 0, everything arrives by Delta = 1.
+  auto net = make_echo_net({5, 1});
+  net.start();
+  net.run();
+  EXPECT_LE(net.now(), 1.0);
+  EXPECT_GT(net.now(), 0.0);
+}
+
+TEST(SimNetwork, CrashAtStartupSilencesParty) {
+  auto net = make_echo_net({4, 1});
+  net.crash_after_sends(0, 0);
+  net.start();
+  net.run();
+  EXPECT_EQ(net.status(0), PartyStatus::kCrashed);
+  // The three live parties sent 3 messages each.
+  EXPECT_EQ(net.metrics().messages_sent, 9u);
+  // Correct parties heard from 2 others only -> no output (they wait for 3).
+  EXPECT_FALSE(net.all_correct_output());
+}
+
+TEST(SimNetwork, PartialMulticastCrash) {
+  auto net = make_echo_net({5, 1});
+  // Party 0 crashes after 2 sends of its 4-message multicast.
+  net.crash_after_sends(0, 2);
+  net.start();
+  net.run();
+  EXPECT_EQ(net.status(0), PartyStatus::kCrashed);
+  EXPECT_EQ(net.metrics().sent_by[0], 2u);
+}
+
+TEST(SimNetwork, MulticastOrderControlsSurvivors) {
+  auto net = make_echo_net({5, 1});
+  net.set_multicast_order(0, {3, 4, 1, 2});
+  net.crash_after_sends(0, 2);  // only 3 and 4 get party 0's message
+  net.start();
+  net.run();
+  const auto& p3 = dynamic_cast<const EchoProcess&>(net.process(3));
+  const auto& p1 = dynamic_cast<const EchoProcess&>(net.process(1));
+  EXPECT_EQ(p3.heard_, 4);  // everyone including 0
+  EXPECT_EQ(p1.heard_, 3);  // missed 0
+}
+
+TEST(SimNetwork, CrashedReceiverDropsDeliveries) {
+  auto net = make_echo_net({4, 1});
+  net.crash_at_time(2, 0.0);
+  net.start();
+  net.run();
+  const auto& p2 = dynamic_cast<const EchoProcess&>(net.process(2));
+  EXPECT_EQ(p2.heard_, 0);
+}
+
+TEST(SimNetwork, RunUntilPredicate) {
+  auto net = make_echo_net({4, 1});
+  net.start();
+  const auto st = net.run_until(
+      [&net]() { return net.metrics().messages_delivered >= 3; });
+  EXPECT_EQ(st, RunStatus::kPredicateSatisfied);
+  EXPECT_GE(net.metrics().messages_delivered, 3u);
+  EXPECT_LT(net.metrics().messages_delivered, 12u);
+}
+
+TEST(SimNetwork, BudgetExhaustionDetected) {
+  /// Ping-pong forever between two parties.
+  class PingPong final : public Process {
+   public:
+    void on_start(Context& ctx) override {
+      if (ctx.self() == 0) ctx.send(1, tiny_payload(0));
+    }
+    void on_message(Context& ctx, ProcessId from, BytesView) override {
+      ctx.send(from, tiny_payload(0));
+    }
+  };
+  SimNetwork net({2, 0}, std::make_unique<sched::FifoScheduler>());
+  net.add_process(std::make_unique<PingPong>());
+  net.add_process(std::make_unique<PingPong>());
+  net.start();
+  EXPECT_EQ(net.run(1000), RunStatus::kBudgetExhausted);
+}
+
+TEST(SimNetwork, SelfSendRejected) {
+  class SelfSender final : public Process {
+   public:
+    void on_start(Context& ctx) override { ctx.send(ctx.self(), Bytes{}); }
+    void on_message(Context&, ProcessId, BytesView) override {}
+  };
+  SimNetwork net({2, 0}, std::make_unique<sched::FifoScheduler>());
+  net.add_process(std::make_unique<SelfSender>());
+  net.add_process(std::make_unique<EchoProcess>());
+  EXPECT_THROW(net.start(), std::invalid_argument);
+}
+
+TEST(SimNetwork, ConfigValidation) {
+  EXPECT_THROW(SimNetwork({0, 0}, std::make_unique<sched::FifoScheduler>()),
+               std::invalid_argument);
+  EXPECT_THROW(SimNetwork({3, 3}, std::make_unique<sched::FifoScheduler>()),
+               std::invalid_argument);
+  SimNetwork net({2, 0}, std::make_unique<sched::FifoScheduler>());
+  net.add_process(std::make_unique<EchoProcess>());
+  EXPECT_THROW(net.start(), std::invalid_argument);  // missing processes
+}
+
+TEST(SimNetwork, ByzantineMarkExcludedFromCorrect) {
+  auto net = make_echo_net({4, 1});
+  net.mark_byzantine(3);
+  net.start();
+  net.run();
+  EXPECT_EQ(net.status(3), PartyStatus::kByzantine);
+  EXPECT_FALSE(net.is_correct(3));
+  EXPECT_EQ(net.correct_outputs().size(), 3u);
+}
+
+TEST(SimNetwork, OutputTimeRecorded) {
+  auto net = make_echo_net({4, 1});
+  net.start();
+  net.run();
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_GT(net.output_time(p), 0.0);
+    EXPECT_LE(net.output_time(p), 1.0);
+  }
+}
+
+TEST(SimNetwork, PayloadBytesAccounted) {
+  auto net = make_echo_net({3, 1});
+  net.start();
+  net.run();
+  // 6 messages of 1 byte each.
+  EXPECT_EQ(net.metrics().payload_bytes, 6u);
+  EXPECT_EQ(net.metrics().payload_bits(), 48u);
+}
+
+}  // namespace
+}  // namespace apxa::net

@@ -1,0 +1,62 @@
+// Synchronous AA wrappers: end-to-end eps-agreement with budgeted rounds.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/sync_aa.hpp"
+
+namespace apxa::core {
+namespace {
+
+TEST(SyncAa, DlpswByzantineEndToEnd) {
+  const SystemParams p{7, 2};
+  std::vector<double> inputs{0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 0.5};
+  adversary::ByzSpec b1;
+  b1.who = 0;
+  b1.kind = adversary::ByzKind::kSpoiler;
+  adversary::ByzSpec b2;
+  b2.who = 6;
+  b2.kind = adversary::ByzKind::kEquivocate;
+  b2.lo = -1e3;
+  b2.hi = 1e3;
+  const auto rep = run_dlpsw_sync(p, inputs, 1e-4, {b1, b2});
+  EXPECT_TRUE(rep.validity_ok);
+  EXPECT_TRUE(rep.agreement_ok) << rep.worst_pair_gap;
+}
+
+TEST(SyncAa, DlpswRejectsBadResilience) {
+  EXPECT_THROW(run_dlpsw_sync({6, 2}, std::vector<double>(6, 0.0), 1e-3, {}),
+               std::invalid_argument);
+}
+
+TEST(SyncAa, CrashSyncEndToEnd) {
+  const SystemParams p{9, 3};
+  std::vector<double> inputs;
+  Rng rng(3);
+  for (int i = 0; i < 9; ++i) inputs.push_back(rng.next_double(-4.0, 4.0));
+  std::vector<SyncCrash> crashes{
+      SyncCrash{1, 0, {0, 2}}, SyncCrash{4, 1, {}}, SyncCrash{7, 2, {8}}};
+  const auto rep = run_crash_sync(p, inputs, 1e-5, crashes);
+  EXPECT_TRUE(rep.validity_ok);
+  EXPECT_TRUE(rep.agreement_ok) << rep.worst_pair_gap;
+}
+
+TEST(SyncAa, CrashSyncFaultFreeOneShot) {
+  // Fault-free synchronous mean agreement is exact after one round, so any
+  // eps is met.
+  const SystemParams p{5, 1};
+  const auto rep =
+      run_crash_sync(p, {1.0, 2.0, 3.0, 4.0, 5.0}, 1e-9, {});
+  EXPECT_TRUE(rep.agreement_ok);
+  EXPECT_EQ(rep.worst_pair_gap, 0.0);
+}
+
+TEST(SyncAa, RoundBudgetGrowsWithPrecision) {
+  const SystemParams p{7, 2};
+  std::vector<double> inputs{0, 1, 2, 3, 4, 5, 6};
+  const auto coarse = run_dlpsw_sync(p, inputs, 1.0, {});
+  const auto fine = run_dlpsw_sync(p, inputs, 1e-6, {});
+  EXPECT_GT(fine.rounds_run, coarse.rounds_run);
+}
+
+}  // namespace
+}  // namespace apxa::core

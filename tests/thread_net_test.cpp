@@ -1,0 +1,98 @@
+// Threaded runtime: the same protocol objects under real concurrency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/async_byz.hpp"
+#include "core/bounds.hpp"
+#include "core/multiset_ops.hpp"
+#include "runtime/thread_net.hpp"
+
+namespace apxa::rt {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ThreadNet, CrashAaConvergesFaultFree) {
+  const SystemParams p{5, 1};
+  ThreadNetwork net(p);
+  const std::vector<double> inputs{0.0, 0.25, 0.5, 0.75, 1.0};
+  const double eps = 1e-3;
+  const Round rounds =
+      core::rounds_for_bound(1.0, eps, core::Averager::kMean, p);
+  for (ProcessId i = 0; i < p.n; ++i) {
+    net.add_process(std::make_unique<core::RoundAaProcess>(
+        core::crash_aa_config(p, inputs[i], rounds)));
+  }
+  ASSERT_TRUE(net.run(10s));
+  const auto outs = net.correct_outputs();
+  ASSERT_EQ(outs.size(), p.n);
+  const auto [mn, mx] = std::minmax_element(outs.begin(), outs.end());
+  EXPECT_LE(*mx - *mn, eps);
+  EXPECT_GE(*mn, 0.0);
+  EXPECT_LE(*mx, 1.0);
+}
+
+TEST(ThreadNet, SurvivesCrashedParty) {
+  const SystemParams p{5, 1};
+  ThreadNetwork net(p);
+  const Round rounds = 6;
+  for (ProcessId i = 0; i < p.n; ++i) {
+    net.add_process(std::make_unique<core::RoundAaProcess>(
+        core::crash_aa_config(p, static_cast<double>(i), rounds)));
+  }
+  net.crash(4);  // crashed before start: silent the whole run
+  ASSERT_TRUE(net.run(10s));
+  const auto outs = net.correct_outputs();
+  EXPECT_EQ(outs.size(), 4u);
+  for (double y : outs) {
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 4.0);
+  }
+}
+
+TEST(ThreadNet, AdaptiveModeTerminates) {
+  const SystemParams p{7, 2};
+  ThreadNetwork net(p);
+  for (ProcessId i = 0; i < p.n; ++i) {
+    net.add_process(std::make_unique<core::RoundAaProcess>(
+        core::crash_aa_adaptive_config(p, static_cast<double>(i) * 3.0, 1e-2)));
+  }
+  ASSERT_TRUE(net.run(20s));
+  EXPECT_EQ(net.correct_outputs().size(), p.n);
+}
+
+TEST(ThreadNet, MetricsAccumulate) {
+  const SystemParams p{4, 1};
+  ThreadNetwork net(p);
+  for (ProcessId i = 0; i < p.n; ++i) {
+    net.add_process(std::make_unique<core::RoundAaProcess>(
+        core::crash_aa_config(p, static_cast<double>(i), 3)));
+  }
+  ASSERT_TRUE(net.run(10s));
+  // 3 rounds of 4 * 3 messages each (all parties run all rounds).
+  EXPECT_EQ(net.metrics().messages_sent, 36u);
+  EXPECT_GT(net.metrics().payload_bytes, 0u);
+}
+
+TEST(ThreadNet, RepeatedRunsAreIndependent) {
+  for (int rep = 0; rep < 3; ++rep) {
+    const SystemParams p{4, 1};
+    ThreadNetwork net(p);
+    for (ProcessId i = 0; i < p.n; ++i) {
+      net.add_process(std::make_unique<core::RoundAaProcess>(
+          core::crash_aa_config(p, 1.0, 2)));
+    }
+    ASSERT_TRUE(net.run(10s));
+    for (double y : net.correct_outputs()) EXPECT_EQ(y, 1.0);
+  }
+}
+
+TEST(ThreadNet, ValidatesUsage) {
+  ThreadNetwork net(SystemParams{2, 0});
+  EXPECT_THROW(net.run(1s), std::invalid_argument);  // processes missing
+}
+
+}  // namespace
+}  // namespace apxa::rt

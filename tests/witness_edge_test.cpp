@@ -1,0 +1,163 @@
+// Witness-protocol edge cases: malformed/undersized reports, laggards fed by
+// buffered future-iteration traffic, RB hub state growth, determinism, and
+// the protocol running on real threads.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+
+#include "core/bounds.hpp"
+#include "core/codec.hpp"
+#include "core/epsilon_driver.hpp"
+#include "net/sim.hpp"
+#include "runtime/thread_net.hpp"
+#include "sched/clique_scheduler.hpp"
+#include "sched/random_scheduler.hpp"
+#include "witness/aad04.hpp"
+
+namespace apxa {
+namespace {
+
+using namespace core;
+
+/// Byzantine party that sends well-formed but malicious REPORT messages:
+/// undersized sets (must be rejected) and sets claiming undelivered origins
+/// (must never be accepted).
+class ReportForger final : public net::Process {
+ public:
+  void on_start(net::Context& ctx) override {
+    const auto n = ctx.params().n;
+    // Undersized report: fewer than n - t origins listed.
+    ReportMsg small;
+    small.iter = 0;
+    small.have.assign(n, false);
+    small.have[0] = true;
+    // Overclaiming report: everything delivered (before anything happened).
+    ReportMsg big;
+    big.iter = 0;
+    big.have.assign(n, true);
+    // Wrong-size report.
+    ReportMsg bad;
+    bad.iter = 0;
+    bad.have.assign(n + 3, true);
+    for (ProcessId to = 0; to < n; ++to) {
+      if (to == ctx.self()) continue;
+      ctx.send(to, encode_report(small));
+      ctx.send(to, encode_report(big));
+      ctx.send(to, encode_report(bad));
+    }
+  }
+  void on_message(net::Context&, ProcessId, BytesView) override {}
+};
+
+TEST(WitnessEdge, ForgedReportsHarmless) {
+  const SystemParams p{7, 2};
+  net::SimNetwork net(p, std::make_unique<sched::RandomScheduler>(5));
+  for (ProcessId i = 0; i < 6; ++i) {
+    witness::WitnessConfig wc;
+    wc.params = p;
+    wc.input = static_cast<double>(i) / 5.0;
+    wc.iterations = 6;
+    net.add_process(std::make_unique<witness::WitnessAaProcess>(wc));
+  }
+  net.add_process(std::make_unique<ReportForger>());
+  net.mark_byzantine(6);
+  net.start();
+  net.run_until([&net] { return net.all_correct_output(); });
+  EXPECT_TRUE(net.all_correct_output());
+  for (double y : net.correct_outputs()) {
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 1.0);
+  }
+}
+
+TEST(WitnessEdge, LaggardCatchesUpUnderCliqueScheduling) {
+  // The clique scheduler makes the last t parties permanent stragglers; the
+  // buffered-iteration machinery must still carry them to the output.
+  RunConfig cfg;
+  cfg.params = {7, 2};
+  cfg.protocol = ProtocolKind::kWitness;
+  cfg.epsilon = 1e-2;
+  cfg.inputs = linear_inputs(7, 0.0, 1.0);
+  cfg.fixed_rounds = 8;
+  cfg.sched = SchedKind::kClique;
+  const auto rep = run_async(cfg);
+  EXPECT_TRUE(rep.all_output);
+  EXPECT_TRUE(rep.validity_ok);
+  EXPECT_TRUE(rep.agreement_ok) << rep.worst_pair_gap;
+}
+
+TEST(WitnessEdge, DeterministicReplay) {
+  auto run_once = [] {
+    RunConfig cfg;
+    cfg.params = {7, 2};
+    cfg.protocol = ProtocolKind::kWitness;
+    cfg.inputs = linear_inputs(7, -1.0, 1.0);
+    cfg.fixed_rounds = 6;
+    cfg.seed = 1234;
+    return run_async(cfg);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.metrics.messages_sent, b.metrics.messages_sent);
+  EXPECT_EQ(a.finish_time, b.finish_time);
+}
+
+TEST(WitnessEdge, HubStateBounded) {
+  // After a full run, the RB hub holds one slot per (iteration, origin) —
+  // not per message.
+  const SystemParams p{4, 1};
+  net::SimNetwork net(p, std::make_unique<sched::RandomScheduler>(2));
+  std::vector<witness::WitnessAaProcess*> procs;
+  for (ProcessId i = 0; i < 4; ++i) {
+    witness::WitnessConfig wc;
+    wc.params = p;
+    wc.input = static_cast<double>(i);
+    wc.iterations = 5;
+    auto proc = std::make_unique<witness::WitnessAaProcess>(wc);
+    procs.push_back(proc.get());
+    net.add_process(std::move(proc));
+  }
+  net.start();
+  net.run_until([&net] { return net.all_correct_output(); });
+  ASSERT_TRUE(net.all_correct_output());
+}
+
+TEST(WitnessEdge, RunsOnRealThreads) {
+  const SystemParams p{4, 1};
+  rt::ThreadNetwork net(p);
+  const double inputs[] = {0.0, 0.25, 0.75, 1.0};
+  const Round iters =
+      std::max<Round>(1, rounds_needed(2.0, 1e-3, predicted_factor_witness()));
+  for (ProcessId i = 0; i < 4; ++i) {
+    witness::WitnessConfig wc;
+    wc.params = p;
+    wc.input = inputs[i];
+    wc.iterations = iters;
+    net.add_process(std::make_unique<witness::WitnessAaProcess>(wc));
+  }
+  ASSERT_TRUE(net.run(std::chrono::seconds(20)));
+  const auto outs = net.correct_outputs();
+  ASSERT_EQ(outs.size(), 4u);
+  const auto [mn, mx] = std::minmax_element(outs.begin(), outs.end());
+  EXPECT_LE(*mx - *mn, 1e-3);
+  EXPECT_GE(*mn, 0.0);
+  EXPECT_LE(*mx, 1.0);
+}
+
+TEST(WitnessEdge, SingleIterationIsOneHalving) {
+  RunConfig cfg;
+  cfg.params = {7, 2};
+  cfg.protocol = ProtocolKind::kWitness;
+  cfg.inputs = split_inputs(7, 3, 0.0, 1.0);
+  cfg.fixed_rounds = 1;
+  const auto rep = run_async(cfg);
+  EXPECT_TRUE(rep.all_output);
+  // One iteration: outputs within the hull, spread at most half.
+  EXPECT_LE(rep.worst_pair_gap, 0.5 + 1e-9);
+  EXPECT_TRUE(rep.validity_ok);
+}
+
+}  // namespace
+}  // namespace apxa

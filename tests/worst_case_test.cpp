@@ -1,0 +1,122 @@
+// Exact one-round adversarial analysis: the empirical lower-bound harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/worst_case.hpp"
+#include "core/bounds.hpp"
+
+namespace apxa::analysis {
+namespace {
+
+using core::Averager;
+
+WorstCaseQuery crash_query(std::uint32_t n, std::uint32_t t, Averager a) {
+  WorstCaseQuery q;
+  q.params = {n, t};
+  q.averager = a;
+  return q;
+}
+
+TEST(WorstCase, MeanMatchesTheory) {
+  // The mean rule's exact worst-case factor is (n - t)/t: the theory the
+  // whole library is built around.
+  for (auto [n, t] : {std::pair{4u, 1u}, {7u, 2u}, {10u, 3u}, {16u, 5u}}) {
+    const auto res = worst_one_round_factor(crash_query(n, t, Averager::kMean));
+    const double predicted = core::predicted_factor_crash_async_mean(n, t);
+    EXPECT_NEAR(res.worst_factor, predicted, predicted * 0.02)
+        << "n=" << n << " t=" << t;
+  }
+}
+
+TEST(WorstCase, MidpointStuckAtTwo) {
+  // Halving rules cannot exploit n >> t: factor stays ~2 (Fekete's contrast).
+  for (std::uint32_t n : {8u, 16u, 32u}) {
+    const auto res = worst_one_round_factor(crash_query(n, 1, Averager::kMidpoint));
+    EXPECT_LE(res.worst_factor, 2.0 + 1e-9) << "n=" << n;
+    EXPECT_GE(res.worst_factor, 2.0 - 1e-9) << "n=" << n;
+  }
+}
+
+TEST(WorstCase, MeanBeatsMidpointWhenNLarge) {
+  const auto mean_res = worst_one_round_factor(crash_query(31, 1, Averager::kMean));
+  const auto mid_res = worst_one_round_factor(crash_query(31, 1, Averager::kMidpoint));
+  EXPECT_GT(mean_res.worst_factor, 10.0 * mid_res.worst_factor);
+}
+
+TEST(WorstCase, MedianCanStall) {
+  // The median rule has unbounded-view worst cases where the spread does not
+  // shrink at all (factor ~1): a bad averaging rule, caught analytically.
+  const auto res = worst_one_round_factor(crash_query(10, 3, Averager::kMedian));
+  EXPECT_LT(res.worst_factor, 1.5);
+}
+
+TEST(WorstCase, ByzantineLaunderedRules) {
+  // With t fabricated values per view, the DLPSW async rule still converges
+  // (factor > 1); the plain mean does not (fabrications land in the view).
+  WorstCaseQuery q = crash_query(11, 2, Averager::kDlpswAsync);
+  q.byz_count = 2;
+  const auto laundered = worst_one_round_factor(q);
+  EXPECT_GT(laundered.worst_factor, 1.0);
+
+  WorstCaseQuery q_mean = crash_query(11, 2, Averager::kMean);
+  q_mean.byz_count = 2;
+  const auto naked = worst_one_round_factor(q_mean);
+  // Fabricated extremes blow the mean out of the genuine hull: the "factor"
+  // collapses below 1 (spread can even expand).
+  EXPECT_LT(naked.worst_factor, 1.0);
+}
+
+TEST(WorstCase, SplitsAreTheWorstFamilyForMean) {
+  const auto res = worst_one_round_factor(crash_query(10, 3, Averager::kMean));
+  EXPECT_NEAR(res.worst_factor, res.factor_at_worst_split,
+              res.worst_factor * 0.05);
+}
+
+TEST(WorstCase, PostSpreadMonotoneInT) {
+  // More faults = more adversarial power = larger post-round spread.
+  std::vector<double> inputs;
+  for (int i = 0; i < 12; ++i) inputs.push_back(i / 11.0);
+  double prev = 0.0;
+  for (std::uint32_t t = 1; t <= 5; ++t) {
+    WorstCaseQuery q = crash_query(12, t, Averager::kMean);
+    const double post = adversarial_post_spread(q, inputs);
+    EXPECT_GE(post, prev);
+    prev = post;
+  }
+}
+
+TEST(WorstCase, ValidatesArguments) {
+  WorstCaseQuery q = crash_query(4, 1, Averager::kMean);
+  q.byz_count = 3;  // an all-fabricated view is meaningless
+  EXPECT_THROW(adversarial_post_spread(q, {0.0, 1.0, 0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(WorstCase, ExcessFaultsBreakLaundering) {
+  // With byz_count = t the DLPSW rule converges; with byz_count = t + 1 the
+  // fabricated extremes leak through reduce_t and the factor collapses.
+  WorstCaseQuery ok = crash_query(16, 2, Averager::kDlpswAsync);
+  ok.byz_count = 2;
+  WorstCaseQuery broken = ok;
+  broken.byz_count = 3;
+  EXPECT_GT(worst_one_round_factor(ok).worst_factor, 1.0);
+  EXPECT_LT(worst_one_round_factor(broken).worst_factor,
+            worst_one_round_factor(ok).worst_factor);
+}
+
+TEST(WorstCase, WorstConfigReported) {
+  const auto res = worst_one_round_factor(crash_query(6, 1, Averager::kMean));
+  EXPECT_FALSE(res.worst_config.empty());
+  // Re-evaluating the reported config reproduces the reported factor.
+  WorstCaseQuery q = crash_query(6, 1, Averager::kMean);
+  auto cfg = res.worst_config;
+  std::vector<double> sorted = cfg;
+  std::sort(sorted.begin(), sorted.end());
+  const double s = sorted.back() - sorted.front();
+  const double post = adversarial_post_spread(q, cfg);
+  EXPECT_NEAR(s / post, res.worst_factor, 1e-9);
+}
+
+}  // namespace
+}  // namespace apxa::analysis
