@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -48,9 +49,159 @@ class Table {
     for (const auto& r : rows_) print_row(r);
   }
 
+  [[nodiscard]] const std::vector<std::string>& headers() const { return headers_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+/// True when `s` is a complete JSON number token ([-]digits[.digits][e...]),
+/// so cells like "16", "0.433", "2.00e-01" can be emitted unquoted.
+inline bool is_json_number(const std::string& s) {
+  std::size_t i = 0;
+  const auto digits = [&] {
+    const std::size_t start = i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    return i > start;
+  };
+  if (i < s.size() && s[i] == '-') ++i;
+  const std::size_t int_start = i;
+  if (!digits()) return false;
+  // JSON forbids leading zeros in the integer part ("007" must be quoted).
+  if (i - int_start > 1 && s[int_start] == '0') return false;
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    if (!digits()) return false;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    if (!digits()) return false;
+  }
+  return i == s.size();
+}
+
+/// Mirrors a driver's tables/series into a machine-readable JSON document.
+///
+/// Usage: construct from (argc, argv); when the user passed `--json <path>`
+/// every section recorded via add_table()/begin_section()+add_row() is
+/// written to that path by finish(), whose return value is the driver's exit
+/// code.  Without the flag the sink is inert, so the human-readable stdout
+/// tables stay the default interface.
+///
+/// Document shape (numeric-looking cells become JSON numbers):
+///   {"bench": "t1", "sections": [
+///     {"name": "...", "columns": [...], "rows": [{"col": value, ...}]}]}
+class JsonSink {
+ public:
+  JsonSink(int argc, char** argv, std::string bench_id)
+      : id_(std::move(bench_id)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        if (i + 1 < argc) {
+          path_ = argv[++i];
+        } else {
+          // Usage error: fail before the (potentially multi-minute) sweep runs.
+          std::fprintf(stderr, "error: --json requires a path argument\n");
+          std::exit(2);
+        }
+      }
+    }
+  }
+
+  void begin_section(std::string name, std::vector<std::string> columns) {
+    sections_.push_back({std::move(name), std::move(columns), {}});
+  }
+
+  /// Appends to the section opened by the last begin_section().
+  void add_row(std::vector<std::string> values) {
+    if (!sections_.empty()) sections_.back().rows.push_back(std::move(values));
+  }
+
+  void add_table(std::string name, const Table& t) {
+    sections_.push_back({std::move(name), t.headers(), t.rows()});
+  }
+
+  /// Writes the document (if --json was given); returns main()'s exit code.
+  [[nodiscard]] int finish() const {
+    if (path_.empty()) return 0;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", path_.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": ");
+    write_string(f, id_);
+    std::fprintf(f, ",\n  \"sections\": [");
+    for (std::size_t s = 0; s < sections_.size(); ++s) {
+      const auto& sec = sections_[s];
+      std::fprintf(f, "%s\n    {\n      \"name\": ", s == 0 ? "" : ",");
+      write_string(f, sec.name);
+      std::fprintf(f, ",\n      \"columns\": [");
+      for (std::size_t c = 0; c < sec.columns.size(); ++c) {
+        std::fprintf(f, "%s", c == 0 ? "" : ", ");
+        write_string(f, sec.columns[c]);
+      }
+      std::fprintf(f, "],\n      \"rows\": [");
+      for (std::size_t r = 0; r < sec.rows.size(); ++r) {
+        std::fprintf(f, "%s\n        {", r == 0 ? "" : ",");
+        const auto& row = sec.rows[r];
+        for (std::size_t c = 0; c < row.size() && c < sec.columns.size(); ++c) {
+          std::fprintf(f, "%s", c == 0 ? "" : ", ");
+          write_string(f, sec.columns[c]);
+          std::fprintf(f, ": ");
+          write_value(f, row[c]);
+        }
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "%s]\n    }", sec.rows.empty() ? "" : "\n      ");
+    }
+    std::fprintf(f, "%s]\n}\n", sections_.empty() ? "" : "\n  ");
+    const bool ok = std::fclose(f) == 0;
+    return ok ? 0 : 1;
+  }
+
+ private:
+  struct Section {
+    std::string name;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  static void write_string(std::FILE* f, const std::string& s) {
+    std::fputc('"', f);
+    for (const char ch : s) {
+      switch (ch) {
+        case '"': std::fputs("\\\"", f); break;
+        case '\\': std::fputs("\\\\", f); break;
+        case '\n': std::fputs("\\n", f); break;
+        case '\t': std::fputs("\\t", f); break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            std::fprintf(f, "\\u%04x", ch);
+          } else {
+            std::fputc(ch, f);
+          }
+      }
+    }
+    std::fputc('"', f);
+  }
+
+  static void write_value(std::FILE* f, const std::string& s) {
+    if (is_json_number(s)) {
+      std::fputs(s.c_str(), f);
+    } else {
+      write_string(f, s);
+    }
+  }
+
+  std::string id_;
+  std::string path_;
+  std::vector<Section> sections_;
 };
 
 inline std::string fmt(double v, int precision = 3) {
@@ -59,13 +210,22 @@ inline std::string fmt(double v, int precision = 3) {
   return buf;
 }
 
-inline std::string fmt_sci(double v) {
+inline std::string fmt_sci(double v, int precision = 2) {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
   return buf;
 }
 
 inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
+
+/// ">horizon" marker for never-converged cells.  snprintf instead of
+/// `">" + std::to_string(v)`: GCC 12's -Wrestrict false-positives on
+/// libstdc++ operator+ temporaries at -O3, which -Werror builds reject.
+inline std::string fmt_over(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ">%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
 
 /// Worst (minimum) sustained and per-round factors for a live run of the
 /// given protocol over the given schedulers and seeds, on binary-split

@@ -8,14 +8,16 @@
 #include "bench_util.hpp"
 #include "core/epsilon_driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apxa;
   using namespace apxa::core;
 
+  bench::JsonSink sink(argc, argv, "f1");
   std::printf(
       "F1 — Correct-party spread at each round entry (n = 16, split inputs).\n"
       "series: protocol/scheduler; columns: round, spread.\n\n");
   std::printf("series,round,spread\n");
+  sink.begin_section("spread_vs_round", {"series", "round", "spread"});
 
   struct Series {
     const char* name;
@@ -60,11 +62,13 @@ int main() {
     const auto rep = run_async(cfg);
     for (std::size_t r = 0; r < rep.spread_by_round.size(); ++r) {
       std::printf("%s,%zu,%.3e\n", s.name, r, rep.spread_by_round[r]);
+      sink.add_row(
+          {s.name, std::to_string(r), bench::fmt_sci(rep.spread_by_round[r], 3)});
     }
   }
 
   std::printf(
       "\nExpected shape: straight lines on a log scale; crash-mean steepest\n"
       "(factor (n-t)/t ~ 4.3 at n=16, t=3), halving-style curves at slope 2.\n");
-  return 0;
+  return sink.finish();
 }

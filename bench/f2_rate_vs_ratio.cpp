@@ -10,14 +10,26 @@
 #include "core/bounds.hpp"
 #include "core/epsilon_driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apxa;
   using namespace apxa::core;
 
+  bench::JsonSink sink(argc, argv, "f2");
   std::printf(
       "F2 — factor K vs n/t.  series: rule; columns: n, t, n/t, predicted,\n"
       "analytic, measured (random/greedy/clique schedulers x 4 seeds).\n\n");
   std::printf("series,n,t,ratio,predicted,analytic,measured\n");
+  sink.begin_section("rate_vs_ratio",
+                     {"series", "n", "t", "ratio", "predicted", "analytic", "measured"});
+  auto emit = [&sink](const std::string& series, std::uint32_t n, std::uint32_t t,
+                      double ratio, double predicted, const std::string& analytic,
+                      double measured) {
+    std::printf("%s,%u,%u,%.1f,%.3f,%s,%.3f\n", series.c_str(), n, t, ratio,
+                predicted, analytic.c_str(), measured);
+    sink.add_row({series, std::to_string(n), std::to_string(t),
+                  bench::fmt(ratio, 1), bench::fmt(predicted), analytic,
+                  bench::fmt(measured)});
+  };
 
   const std::vector<SchedKind> scheds{SchedKind::kRandom, SchedKind::kGreedySplit,
                                       SchedKind::kClique};
@@ -48,11 +60,12 @@ int main() {
       analysis::WorstCaseQuery q;
       q.params = p;
       q.averager = Averager::kMean;
-      std::printf("crash-mean(t=%u),%u,%u,%.1f,%.3f,%.3f,%.3f\n", t, n, t,
-                  static_cast<double>(n) / t,
-                  predicted_factor_crash_async_mean(n, t),
-                  analysis::worst_one_round_factor(q).worst_factor,
-                  measure(ProtocolKind::kCrashRound, p, Averager::kMean));
+      char series[32];
+      std::snprintf(series, sizeof(series), "crash-mean(t=%u)", t);
+      emit(series, n, t,
+           static_cast<double>(n) / t, predicted_factor_crash_async_mean(n, t),
+           bench::fmt(analysis::worst_one_round_factor(q).worst_factor),
+           measure(ProtocolKind::kCrashRound, p, Averager::kMean));
     }
   }
 
@@ -63,11 +76,10 @@ int main() {
     analysis::WorstCaseQuery q;
     q.params = p;
     q.averager = Averager::kMidpoint;
-    std::printf("crash-midpoint(t=1),%u,1,%.1f,%.3f,%.3f,%.3f\n", n,
-                static_cast<double>(n),
-                predicted_factor_midpoint(),
-                analysis::worst_one_round_factor(q).worst_factor,
-                measure(ProtocolKind::kCrashRound, p, Averager::kMidpoint));
+    emit("crash-midpoint(t=1)", n, 1, static_cast<double>(n),
+         predicted_factor_midpoint(),
+         bench::fmt(analysis::worst_one_round_factor(q).worst_factor),
+         measure(ProtocolKind::kCrashRound, p, Averager::kMidpoint));
   }
 
   // DLPSW async (needs n > 5t): grows slowly past the boundary.
@@ -77,22 +89,21 @@ int main() {
     q.params = p;
     q.averager = Averager::kDlpswAsync;
     q.byz_count = 1;
-    std::printf("byz-dlpsw(t=1),%u,1,%.1f,%.3f,%.3f,%.3f\n", n,
-                static_cast<double>(n), predicted_factor_dlpsw_async(n, 1),
-                analysis::worst_one_round_factor(q).worst_factor,
-                measure(ProtocolKind::kByzRound, p, Averager::kDlpswAsync));
+    emit("byz-dlpsw(t=1)", n, 1, static_cast<double>(n),
+         predicted_factor_dlpsw_async(n, 1),
+         bench::fmt(analysis::worst_one_round_factor(q).worst_factor),
+         measure(ProtocolKind::kByzRound, p, Averager::kDlpswAsync));
   }
 
   // Witness pins 2.
   for (std::uint32_t n : {4u, 7u, 10u, 16u}) {
     const std::uint32_t t = (n - 1) / 3;
     const SystemParams p{n, t};
-    std::printf("witness,%u,%u,%.1f,%.3f,-,%.3f\n", n, t,
-                static_cast<double>(n) / t, predicted_factor_witness(),
-                measure(ProtocolKind::kWitness, p, Averager::kReduceMidpoint));
+    emit("witness", n, t, static_cast<double>(n) / t, predicted_factor_witness(),
+         "-", measure(ProtocolKind::kWitness, p, Averager::kReduceMidpoint));
   }
 
   std::printf(
       "\nExpected shape: crash-mean grows linearly in n/t; the others are flat.\n");
-  return 0;
+  return sink.finish();
 }

@@ -10,13 +10,26 @@
 #include "core/async_byz.hpp"
 #include "core/bounds.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apxa;
   using namespace apxa::core;
 
+  bench::JsonSink sink(argc, argv, "f3");
   std::printf(
       "F3 — Total messages and bits to reach eps = 1e-3 (S = 1, fault-free).\n\n");
   std::printf("series,n,t,rounds,total_msgs,total_bits\n");
+  sink.begin_section("total_messages",
+                     {"series", "n", "t", "rounds", "total_msgs", "total_bits"});
+  auto emit = [&sink](const char* series, std::uint32_t n, std::uint32_t t,
+                      apxa::Round rounds, const apxa::core::RunReport& rep) {
+    std::printf("%s,%u,%u,%u,%llu,%llu\n", series, n, t, rounds,
+                static_cast<unsigned long long>(rep.metrics.messages_sent),
+                static_cast<unsigned long long>(rep.metrics.payload_bits()));
+    sink.add_row({series, std::to_string(n), std::to_string(t),
+                  std::to_string(rounds),
+                  bench::fmt_u(rep.metrics.messages_sent),
+                  bench::fmt_u(rep.metrics.payload_bits())});
+  };
 
   const double eps = 1e-3;
 
@@ -30,9 +43,7 @@ int main() {
     cfg.inputs = linear_inputs(n, 0.0, 1.0);
     cfg.fixed_rounds = rounds_needed(1.0, eps, predicted_factor_crash_async_mean(n, t));
     const auto rep = run_async(cfg);
-    std::printf("crash-mean,%u,%u,%u,%llu,%llu\n", n, t, cfg.fixed_rounds,
-                static_cast<unsigned long long>(rep.metrics.messages_sent),
-                static_cast<unsigned long long>(rep.metrics.payload_bits()));
+    emit("crash-mean", n, t, cfg.fixed_rounds, rep);
   }
 
   for (std::uint32_t n : {6u, 11u, 16u, 26u, 41u, 61u}) {
@@ -45,9 +56,7 @@ int main() {
     cfg.inputs = linear_inputs(n, 0.0, 1.0);
     cfg.fixed_rounds = rounds_needed(1.0, eps, predicted_factor_dlpsw_async(n, t));
     const auto rep = run_async(cfg);
-    std::printf("byz-dlpsw,%u,%u,%u,%llu,%llu\n", n, t, cfg.fixed_rounds,
-                static_cast<unsigned long long>(rep.metrics.messages_sent),
-                static_cast<unsigned long long>(rep.metrics.payload_bits()));
+    emit("byz-dlpsw", n, t, cfg.fixed_rounds, rep);
   }
 
   for (std::uint32_t n : {4u, 7u, 10u, 16u, 25u, 40u}) {
@@ -60,14 +69,12 @@ int main() {
     cfg.inputs = linear_inputs(n, 0.0, 1.0);
     cfg.fixed_rounds = rounds_needed(1.0, eps, predicted_factor_witness());
     const auto rep = run_async(cfg);
-    std::printf("witness,%u,%u,%u,%llu,%llu\n", n, t, cfg.fixed_rounds,
-                static_cast<unsigned long long>(rep.metrics.messages_sent),
-                static_cast<unsigned long long>(rep.metrics.payload_bits()));
+    emit("witness", n, t, cfg.fixed_rounds, rep);
   }
 
   std::printf(
       "\nExpected shape (log-log vs n): crash-mean slope <= 2 (rounds shrink as\n"
       "n/t grows), witness slope 3; crossover makes the witness protocol an\n"
       "order of magnitude costlier by n ~ 40.\n");
-  return 0;
+  return sink.finish();
 }

@@ -11,10 +11,11 @@
 #include "core/bounds.hpp"
 #include "core/epsilon_driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apxa;
   using namespace apxa::core;
 
+  bench::JsonSink sink(argc, argv, "f4");
   const SystemParams p{16, 3};
   std::printf(
       "F4 — Scheduler/adversary ablation, async-crash/mean, n = %u, t = %u.\n"
@@ -83,6 +84,7 @@ int main() {
   tab.add_row({"ANALYTIC OPTIMUM", bench::fmt(wc.worst_factor),
                bench::fmt(wc.worst_factor)});
   tab.print();
+  sink.add_table("adversary_ablation", tab);
 
   std::printf(
       "\nReading: greedy split-brain scheduling alone reaches the analytic\n"
@@ -94,5 +96,5 @@ int main() {
       "collapse the spread early.  Contrast the synchronous rows of T1, where\n"
       "crash partial-multicasts are the adversary's only lever.\n",
       predicted_factor_crash_async_mean(p.n, p.t));
-  return 0;
+  return sink.finish();
 }

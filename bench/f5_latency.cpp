@@ -11,13 +11,16 @@
 #include "core/async_byz.hpp"
 #include "core/bounds.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apxa;
   using namespace apxa::core;
 
+  bench::JsonSink sink(argc, argv, "f5");
   std::printf(
       "F5 — Finish time (in Delta units) vs log2(S/eps), random scheduler.\n\n");
   std::printf("series,log2(S/eps),budget_rounds,finish_time\n");
+  sink.begin_section("latency",
+                     {"series", "log2_ratio", "budget_rounds", "finish_time"});
 
   struct Row {
     const char* name;
@@ -47,6 +50,9 @@ int main() {
       const auto rep = run_async(cfg);
       std::printf("%s,%d,%u,%.3f\n", row.name, log_ratio, cfg.fixed_rounds,
                   rep.finish_time);
+      sink.add_row({row.name, std::to_string(log_ratio),
+                    std::to_string(cfg.fixed_rounds),
+                    bench::fmt(rep.finish_time)});
     }
   }
 
@@ -54,5 +60,5 @@ int main() {
       "\nExpected shape: straight lines in log2(S/eps); witness iterations cost\n"
       "~3 Delta each (RB SEND/ECHO/READY + report) vs ~1 Delta per plain round,\n"
       "so its line is steeper than byz-dlpsw even at the same factor 2.\n");
-  return 0;
+  return sink.finish();
 }

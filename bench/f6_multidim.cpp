@@ -12,10 +12,11 @@
 #include "core/bounds.hpp"
 #include "core/multidim.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apxa;
   using namespace apxa::core;
 
+  bench::JsonSink sink(argc, argv, "f6");
   const SystemParams p{10, 3};
   const double eps = 1e-3;
   std::printf(
@@ -47,10 +48,11 @@ int main() {
                  rep.box_validity_ok ? "yes" : "NO"});
   }
   tab.print();
+  sink.add_table("multidim_scaling", tab);
 
   std::printf(
       "\nExpected shape: msgs constant in d; bits/msg ~ 8d + header; the\n"
       "L-infinity gap stays below eps for every d (coordinates shrink in\n"
       "lockstep at the 1-D rate).\n");
-  return 0;
+  return sink.finish();
 }

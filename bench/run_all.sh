@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Runs the full t1-t7/f1-f6 evaluation sweep and writes, for each driver:
+#   <outdir>/BENCH_<id>.json  — machine-readable results (--json mode, or the
+#                               google-benchmark JSON reporter for t5)
+#   <outdir>/BENCH_<id>.txt   — the human-readable stdout tables
+#
+# Usage: run_all.sh <bench-bin-dir> [outdir]
+#
+# Environment:
+#   APXA_BENCH_ONLY     space-separated ids (e.g. "t1 t5") to restrict the sweep
+#   APXA_T5_MIN_TIME    --benchmark_min_time for t5 (default: library default)
+#   APXA_HAVE_T5        set to 0 to skip t5 (exported by the run_benches target
+#                       when google-benchmark was not found at configure time)
+set -u
+
+bindir=${1:?usage: run_all.sh <bench-bin-dir> [outdir]}
+outdir=${2:-.}
+mkdir -p "$outdir"
+
+ids="t1 t2 t3 t4 t5 t6 t7 f1 f2 f3 f4 f5 f6"
+[ -n "${APXA_BENCH_ONLY:-}" ] && ids=$APXA_BENCH_ONLY
+
+failed=0
+for id in $ids; do
+  matches=("$bindir/${id}_"*)
+  exe=${matches[0]}
+  if [ ! -x "$exe" ]; then
+    if [ "$id" = t5 ] && [ "${APXA_HAVE_T5:-1}" = 0 ]; then
+      echo "== $id: skipped (google-benchmark not available)"
+      continue
+    fi
+    echo "== $id: MISSING binary under $bindir" >&2
+    failed=1
+    continue
+  fi
+
+  json=$outdir/BENCH_$id.json
+  txt=$outdir/BENCH_$id.txt
+  echo "== $id: $(basename "$exe") -> $json"
+  if [ "$id" = t5 ]; then
+    args=(--benchmark_out="$json" --benchmark_out_format=json)
+    [ -n "${APXA_T5_MIN_TIME:-}" ] && args+=(--benchmark_min_time="$APXA_T5_MIN_TIME")
+    "$exe" "${args[@]}" >"$txt" 2>&1
+  else
+    "$exe" --json "$json" >"$txt" 2>&1
+  fi
+  status=$?
+  if [ $status -ne 0 ] || [ ! -s "$json" ]; then
+    echo "== $id: FAILED (exit $status); last output lines:" >&2
+    tail -n 20 "$txt" >&2
+    failed=1
+  fi
+done
+
+if [ $failed -ne 0 ]; then
+  echo "bench sweep: FAILURES (see above)" >&2
+  exit 1
+fi
+echo "bench sweep: all drivers completed; results in $outdir/BENCH_*.json"

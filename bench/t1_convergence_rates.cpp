@@ -100,9 +100,10 @@ void emit(Table& tab, const std::string& proto, SystemParams p,
 }  // namespace
 }  // namespace apxa
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apxa;
   using namespace apxa::core;
+  bench::JsonSink sink(argc, argv, "t1");
   std::printf(
       "T1 — Per-round convergence factor K (bigger = faster).\n"
       "predicted = reconstructed theorem; analytic = exact one-round adversarial\n"
@@ -160,9 +161,10 @@ int main() {
   }
 
   tab.print();
+  sink.add_table("convergence_factors", tab);
   std::printf(
       "\nExpected shape: async-crash/mean grows ~ (n-t)/t with n/t; midpoint and\n"
       "byzantine rules stay near small constants; witness pins 2 regardless of n/t\n"
       "('inst' = converged within one round in every execution tried).\n");
-  return 0;
+  return sink.finish();
 }

@@ -10,10 +10,11 @@
 #include "core/async_byz.hpp"
 #include "core/bounds.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apxa;
   using namespace apxa::core;
 
+  bench::JsonSink sink(argc, argv, "t2");
   std::printf(
       "T2 — Rounds to eps-agreement vs S/eps (n = 16 where admissible).\n"
       "budget = ceil(log_K(S/eps)) from the predicted factor K; measured = worst\n"
@@ -74,13 +75,14 @@ int main() {
       tab.add_row({row.name, std::to_string(row.p.n), std::to_string(row.p.t),
                    bench::fmt_sci(ratio), bench::fmt(k, 2),
                    std::to_string(budget),
-                   measured > horizon ? ">" + std::to_string(horizon)
+                   measured > horizon ? bench::fmt_over(horizon)
                                       : std::to_string(measured)});
     }
   }
   tab.print();
+  sink.add_table("rounds_to_epsilon", tab);
   std::printf(
       "\nExpected shape: rounds grow logarithmically in S/eps; the crash-model\n"
       "mean rule needs ~log_2(n/t) times fewer rounds than halving rules.\n");
-  return 0;
+  return sink.finish();
 }

@@ -18,10 +18,11 @@ apxa::core::RunReport one_round(apxa::core::RunConfig cfg, apxa::Round rounds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apxa;
   using namespace apxa::core;
 
+  bench::JsonSink sink(argc, argv, "t3");
   std::printf(
       "T3 — Communication per round/iteration (fault-free, random scheduler).\n\n");
   bench::Table tab({"protocol", "n", "t", "msgs/round", "bits/round", "msgs/n^2",
@@ -58,9 +59,10 @@ int main() {
                  bench::fmt(msgs / (double(n) * n * n), 4)});
   }
   tab.print();
+  sink.add_table("communication", tab);
   std::printf(
       "\nExpected shape: msgs/n^2 is flat (~1 per round) for the round-based\n"
       "protocol and grows ~n for the witness technique, whose msgs/n^3 is flat —\n"
       "the quadratic-vs-cubic gap the follow-on work traded for resilience.\n");
-  return 0;
+  return sink.finish();
 }

@@ -66,7 +66,8 @@ std::string guard_status(bool admissible) { return admissible ? "accepted" : "re
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonSink sink(argc, argv, "t4");
   std::printf("T4 — Resilience boundaries.\n\n(a) configuration guards:\n\n");
   {
     bench::Table tab({"protocol", "n", "t", "requirement", "guard"});
@@ -77,6 +78,7 @@ int main() {
     tab.add_row({"async-crash/mean", "4", "2", "n > 2t", guard_status(false)});
     tab.add_row({"async-crash/mean", "5", "2", "n > 2t", guard_status(true)});
     tab.print();
+    sink.add_table("configuration_guards", tab);
   }
 
   std::printf(
@@ -106,6 +108,7 @@ int main() {
       }
     }
     tab.print();
+    sink.add_table("fault_budget_stress", tab);
   }
 
   std::printf(
@@ -122,11 +125,12 @@ int main() {
                    bench::fmt(analysis::worst_one_round_factor(q).worst_factor)});
     }
     tab.print();
+    sink.add_table("fabrication_sweep", tab);
   }
 
   std::printf(
       "\nExpected shape: zero violations at b = t; validity/agreement violations\n"
       "appear at b > t; the analytic factor collapses towards (or below) 1 as\n"
       "fabrications exceed what reduce_t can launder.\n");
-  return 0;
+  return sink.finish();
 }

@@ -12,10 +12,11 @@
 #include "core/bounds.hpp"
 #include "core/epsilon_driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apxa;
   using namespace apxa::core;
 
+  bench::JsonSink sink(argc, argv, "t6");
   const SystemParams p{16, 3};
   const double eps = 1e-3;
   const std::vector<SchedKind> scheds{SchedKind::kRandom, SchedKind::kFifo,
@@ -56,10 +57,11 @@ int main() {
 
     tab.add_row({std::string(averager_name(a)), bench::fmt(analytic),
                  m.measurable ? bench::fmt(m.sustained_min) : "-",
-                 rto > horizon ? ">" + std::to_string(horizon) : std::to_string(rto),
+                 rto > horizon ? bench::fmt_over(horizon) : std::to_string(rto),
                  averager_is_byzantine_safe(a) ? "yes" : "no"});
   }
   tab.print();
+  sink.add_table("averager_ablation", tab);
 
   std::printf(
       "\nExpected shape: mean dominates (analytic (n-t)/t = %.2f); midpoint and\n"
@@ -67,5 +69,5 @@ int main() {
       "~1 (it can stall under adversarial scheduling, though benign schedulers\n"
       "still converge).\n",
       predicted_factor_crash_async_mean(p.n, p.t));
-  return 0;
+  return sink.finish();
 }

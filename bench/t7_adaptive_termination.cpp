@@ -15,10 +15,11 @@
 #include "bench_util.hpp"
 #include "core/epsilon_driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apxa;
   using namespace apxa::core;
 
+  bench::JsonSink sink(argc, argv, "t7");
   const SystemParams p{9, 2};
   const double eps = 1e-3;
   std::printf(
@@ -78,6 +79,7 @@ int main() {
     }
   }
   tab.print();
+  sink.add_table("adaptive_termination", tab);
 
   std::printf(
       "\nReading: the DONE-freeze + range-widening + max-adoption design is\n"
@@ -88,5 +90,5 @@ int main() {
       "are evidence — not proof — for the reconstruction.  More slack buys\n"
       "rounds, not certainty: the formal gap is what the witness-technique\n"
       "follow-on work closed.\n");
-  return 0;
+  return sink.finish();
 }

@@ -33,7 +33,7 @@ class EchoProcess final : public Process {
 
   [[nodiscard]] std::optional<double> output() const override { return out_; }
 
-  int heard_ = 0;
+  std::uint32_t heard_ = 0;
   std::optional<double> out_;
 };
 
