@@ -2,6 +2,11 @@
 // and the standard measurement loops (worst measured convergence factor over
 // schedulers/seeds, rounds until a spread target, etc.).
 //
+// The measurement loops fan their (scheduler x seed x input-family) sweeps
+// over harness::run_many, so every driver built on them is a multi-core run;
+// aggregation is over the seed-ordered report vector, so results — and the
+// JSON documents — are identical to the old serial loops.
+//
 // Every bench binary prints a self-contained, labeled table so that
 // `for b in build/bench/*; do $b; done` regenerates the full evaluation.
 #pragma once
@@ -14,6 +19,7 @@
 
 #include "analysis/rate_meter.hpp"
 #include "core/epsilon_driver.hpp"
+#include "harness/run_many.hpp"
 
 namespace apxa::bench {
 
@@ -236,20 +242,33 @@ struct MeasuredRate {
   bool measurable = false;
 };
 
-inline MeasuredRate measure_worst_rate(core::RunConfig base, Round horizon,
-                                       const std::vector<core::SchedKind>& scheds,
-                                       std::uint32_t seeds) {
-  std::vector<analysis::RateSummary> all;
+/// The (scheduler x seed) live-run config grid the rate/round measurements
+/// sweep, in scheduler-major seed order.
+inline std::vector<core::RunConfig> sweep_grid(
+    core::RunConfig base, Round horizon, const std::vector<core::SchedKind>& scheds,
+    std::uint32_t seeds) {
   base.mode = core::TerminationMode::kLive;
   base.fixed_rounds = horizon;
+  std::vector<core::RunConfig> grid;
+  grid.reserve(scheds.size() * seeds);
   for (const auto sched : scheds) {
     for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
       core::RunConfig cfg = base;
       cfg.sched = sched;
       cfg.seed = seed;
-      const auto rep = core::run_async(cfg);
-      all.push_back(analysis::summarize_rates(rep.spread_by_round));
+      grid.push_back(std::move(cfg));
     }
+  }
+  return grid;
+}
+
+inline MeasuredRate measure_worst_rate(core::RunConfig base, Round horizon,
+                                       const std::vector<core::SchedKind>& scheds,
+                                       std::uint32_t seeds) {
+  std::vector<analysis::RateSummary> all;
+  for (const auto& rep :
+       harness::run_many(sweep_grid(std::move(base), horizon, scheds, seeds))) {
+    all.push_back(analysis::summarize_rates(rep.spread_by_round));
   }
   const auto w = analysis::worst_of(all);
   return MeasuredRate{w.sustained, w.per_round_min, w.measurable};
@@ -272,15 +291,33 @@ inline std::vector<std::vector<double>> adversarial_input_families(
 
 /// Worst measured rate over the adversarial input families above.  Runs that
 /// converge instantly on some family are fine as long as one family yields a
-/// measurable rate.
+/// measurable rate.  The full family x scheduler x seed grid goes through
+/// run_many as a single parallel sweep; aggregation stays per-family.
 inline MeasuredRate measure_worst_rate_over_inputs(
     core::RunConfig base, Round horizon, const std::vector<core::SchedKind>& scheds,
     std::uint32_t seeds) {
-  MeasuredRate worst;
-  for (auto& inputs : adversarial_input_families(base.params, 0.0, 1.0)) {
+  auto families = adversarial_input_families(base.params, 0.0, 1.0);
+  std::vector<core::RunConfig> grid;
+  std::vector<std::size_t> family_of;  // grid index -> family index
+  for (std::size_t f = 0; f < families.size(); ++f) {
     core::RunConfig cfg = base;
-    cfg.inputs = std::move(inputs);
-    const auto m = measure_worst_rate(cfg, horizon, scheds, seeds);
+    cfg.inputs = families[f];
+    for (auto& g : sweep_grid(std::move(cfg), horizon, scheds, seeds)) {
+      grid.push_back(std::move(g));
+      family_of.push_back(f);
+    }
+  }
+  const auto reports = harness::run_many(grid);
+
+  MeasuredRate worst;
+  std::vector<std::vector<analysis::RateSummary>> per_family(families.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    per_family[family_of[i]].push_back(
+        analysis::summarize_rates(reports[i].spread_by_round));
+  }
+  for (const auto& summaries : per_family) {
+    const auto w = analysis::worst_of(summaries);
+    const MeasuredRate m{w.sustained, w.per_round_min, w.measurable};
     if (!m.measurable) continue;
     if (!worst.measurable || m.sustained_min < worst.sustained_min) worst = m;
   }
@@ -295,23 +332,16 @@ inline Round measure_rounds_to_spread(core::RunConfig base, Round horizon,
                                       const std::vector<core::SchedKind>& scheds,
                                       std::uint32_t seeds) {
   Round worst = 0;
-  base.mode = core::TerminationMode::kLive;
-  base.fixed_rounds = horizon;
-  for (const auto sched : scheds) {
-    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-      core::RunConfig cfg = base;
-      cfg.sched = sched;
-      cfg.seed = seed;
-      const auto rep = core::run_async(cfg);
-      Round got = horizon + 1;
-      for (std::size_t r = 0; r < rep.spread_by_round.size(); ++r) {
-        if (rep.spread_by_round[r] <= target) {
-          got = static_cast<Round>(r);
-          break;
-        }
+  for (const auto& rep :
+       harness::run_many(sweep_grid(std::move(base), horizon, scheds, seeds))) {
+    Round got = horizon + 1;
+    for (std::size_t r = 0; r < rep.spread_by_round.size(); ++r) {
+      if (rep.spread_by_round[r] <= target) {
+        got = static_cast<Round>(r);
+        break;
       }
-      worst = std::max(worst, got);
     }
+    worst = std::max(worst, got);
   }
   return worst;
 }

@@ -39,6 +39,8 @@ int main(int argc, char** argv) {
        SchedKind::kGreedySplit},
   };
 
+  // All five series sweep in parallel; reports come back in series order.
+  std::vector<RunConfig> grid;
   for (const auto& s : series) {
     RunConfig cfg;
     cfg.params = s.p;
@@ -59,11 +61,15 @@ int main(int argc, char** argv) {
         cfg.byz.push_back(b);
       }
     }
-    const auto rep = run_async(cfg);
+    grid.push_back(std::move(cfg));
+  }
+  const auto reports = harness::run_many(grid);
+  for (std::size_t si = 0; si < reports.size(); ++si) {
+    const auto& rep = reports[si];
     for (std::size_t r = 0; r < rep.spread_by_round.size(); ++r) {
-      std::printf("%s,%zu,%.3e\n", s.name, r, rep.spread_by_round[r]);
-      sink.add_row(
-          {s.name, std::to_string(r), bench::fmt_sci(rep.spread_by_round[r], 3)});
+      std::printf("%s,%zu,%.3e\n", series[si].name, r, rep.spread_by_round[r]);
+      sink.add_row({series[si].name, std::to_string(r),
+                    bench::fmt_sci(rep.spread_by_round[r], 3)});
     }
   }
 

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
 
   auto run_with = [&](SchedKind sched, bool with_crashes,
                       std::uint64_t seeds) -> analysis::RateSummary {
-    std::vector<analysis::RateSummary> all;
+    std::vector<RunConfig> grid;
     for (auto& family : bench::adversarial_input_families(p, 0.0, 1.0)) {
     for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
       RunConfig cfg;
@@ -52,9 +52,12 @@ int main(int argc, char** argv) {
               p, victims[i], 0, victim_is_low ? high : low));
         }
       }
-      const auto rep = run_async(cfg);
-      all.push_back(analysis::summarize_rates(rep.spread_by_round));
+      grid.push_back(std::move(cfg));
     }
+    }
+    std::vector<analysis::RateSummary> all;
+    for (const auto& rep : harness::run_many(grid)) {
+      all.push_back(analysis::summarize_rates(rep.spread_by_round));
     }
     return analysis::worst_of(all);
   };

@@ -35,6 +35,15 @@ int main(int argc, char** argv) {
       {"witness", ProtocolKind::kWitness, {16, 5}, Averager::kReduceMidpoint},
   };
 
+  // One flat (series x precision) grid through the parallel sweep runner;
+  // reports come back in input order, so the printed series are unchanged.
+  struct Cell {
+    const char* name;
+    int log_ratio;
+    Round budget;
+  };
+  std::vector<Cell> cells;
+  std::vector<RunConfig> grid;
   for (const auto& row : rows) {
     const double k = row.kind == ProtocolKind::kWitness
                          ? predicted_factor_witness()
@@ -47,13 +56,17 @@ int main(int argc, char** argv) {
       cfg.epsilon = eps;
       cfg.inputs = linear_inputs(row.p.n, 0.0, 1.0);
       cfg.fixed_rounds = std::max<Round>(1, rounds_needed(1.0, eps, k));
-      const auto rep = run_async(cfg);
-      std::printf("%s,%d,%u,%.3f\n", row.name, log_ratio, cfg.fixed_rounds,
-                  rep.finish_time);
-      sink.add_row({row.name, std::to_string(log_ratio),
-                    std::to_string(cfg.fixed_rounds),
-                    bench::fmt(rep.finish_time)});
+      cells.push_back({row.name, log_ratio, cfg.fixed_rounds});
+      grid.push_back(std::move(cfg));
     }
+  }
+  const auto reports = harness::run_many(grid);
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    std::printf("%s,%d,%u,%.3f\n", cells[i].name, cells[i].log_ratio,
+                cells[i].budget, reports[i].finish_time);
+    sink.add_row({cells[i].name, std::to_string(cells[i].log_ratio),
+                  std::to_string(cells[i].budget),
+                  bench::fmt(reports[i].finish_time)});
   }
 
   std::printf(

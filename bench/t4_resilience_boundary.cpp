@@ -28,7 +28,7 @@ struct Violations {
 
 Violations stress(ProtocolKind kind, SystemParams p, std::uint32_t byz_count,
                   double eps) {
-  Violations v;
+  std::vector<RunConfig> grid;
   for (std::uint64_t seed = 1; seed <= 12; ++seed) {
     RunConfig cfg;
     cfg.params = p;
@@ -52,7 +52,10 @@ Violations stress(ProtocolKind kind, SystemParams p, std::uint32_t byz_count,
       s.seed = seed * 100 + i;
       cfg.byz.push_back(s);
     }
-    const auto rep = run_async(cfg);
+    grid.push_back(std::move(cfg));
+  }
+  Violations v;
+  for (const auto& rep : harness::run_many(grid)) {
     ++v.runs;
     if (!rep.all_output) ++v.liveness;
     if (!rep.validity_ok) ++v.validity;

@@ -45,9 +45,7 @@ int main(int argc, char** argv) {
 
   for (const auto& s : scheds) {
     for (const double slack : {1.0, 4.0, 16.0}) {
-      int runs = 0, viol = 0;
-      double worst_ratio = 0.0;
-      Round worst_rounds = 0;
+      std::vector<RunConfig> grid;
       for (std::uint64_t seed = 1; seed <= 32; ++seed) {
         Rng rng(seed);
         RunConfig cfg;
@@ -66,8 +64,12 @@ int main(int argc, char** argv) {
         }
         cfg.inputs[p.n - 1] = 100.0;
         cfg.inputs[p.n - 2] = -100.0;
-
-        const auto rep = run_async(cfg);
+        grid.push_back(std::move(cfg));
+      }
+      int runs = 0, viol = 0;
+      double worst_ratio = 0.0;
+      Round worst_rounds = 0;
+      for (const auto& rep : harness::run_many(grid)) {
         ++runs;
         if (!rep.all_output || !rep.agreement_ok) ++viol;
         worst_ratio = std::max(worst_ratio, rep.worst_pair_gap / eps);

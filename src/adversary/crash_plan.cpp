@@ -6,16 +6,6 @@
 
 namespace apxa::adversary {
 
-void apply(net::SimNetwork& net, const std::vector<CrashSpec>& specs) {
-  for (const CrashSpec& s : specs) {
-    APXA_ENSURE(s.who < net.params().n, "crash victim out of range");
-    if (!s.multicast_order.empty()) {
-      net.set_multicast_order(s.who, s.multicast_order);
-    }
-    net.crash_after_sends(s.who, s.after_sends);
-  }
-}
-
 std::vector<CrashSpec> random_crashes(Rng& rng, SystemParams params,
                                       std::uint32_t count, Round rounds) {
   APXA_ENSURE(count <= params.t, "cannot crash more than t parties");

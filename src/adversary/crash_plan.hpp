@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/ensure.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "net/sim.hpp"
@@ -23,8 +24,25 @@ struct CrashSpec {
   std::vector<ProcessId> multicast_order;
 };
 
-/// Install the specs on a simulator (before start()).
-void apply(net::SimNetwork& net, const std::vector<CrashSpec>& specs);
+/// Install the specs on any transport exposing params() /
+/// set_multicast_order() / crash_after_sends() — net::SimNetwork,
+/// rt::ThreadNetwork, or an exec::Backend — before it starts running.
+/// Single definition so every entry point gets identical crash semantics.
+template <class Transport>
+void install(Transport& net, const std::vector<CrashSpec>& specs) {
+  for (const CrashSpec& s : specs) {
+    APXA_ENSURE(s.who < net.params().n, "crash victim out of range");
+    if (!s.multicast_order.empty()) {
+      net.set_multicast_order(s.who, s.multicast_order);
+    }
+    net.crash_after_sends(s.who, s.after_sends);
+  }
+}
+
+/// Historical name for installing on the simulator (before start()).
+inline void apply(net::SimNetwork& net, const std::vector<CrashSpec>& specs) {
+  install(net, specs);
+}
 
 /// `count` random crash victims (distinct, chosen from [0, n)), each crashing
 /// at a uniformly random point within its first `rounds` multicasts.

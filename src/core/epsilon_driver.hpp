@@ -1,89 +1,29 @@
-// End-to-end asynchronous execution driver.
+// Backwards-compatible facade over the execution harness.
 //
-// Builds a full system (protocol processes + fault plans + scheduler), runs
-// it on the deterministic simulator, and checks the two approximate-agreement
-// properties:
-//   validity        — every correct output lies in the hull of the
-//                     non-byzantine parties' inputs;
-//   eps-agreement   — every two correct outputs differ by at most eps.
-// It also extracts the per-round spread trace (for the convergence-rate
-// experiments), the communication metrics, and the Delta-normalized finish
-// time (= asynchronous round complexity).
+// The end-to-end driver moved to the backend-polymorphic harness layer:
+//   harness/scenario.hpp — RunConfig / RunReport / input helpers
+//   harness/harness.hpp  — run / run_async / run_threaded / execute
+//   harness/run_many.hpp — parallel sweeps
+//   exec/backend.hpp     — the transport abstraction the harness targets
+//
+// This header re-exports the historical apxa::core names so existing tests,
+// benches and examples keep compiling unchanged.  New code should include
+// the harness headers directly.
 #pragma once
 
-#include <map>
-#include <memory>
-#include <vector>
-
-#include "adversary/byzantine.hpp"
-#include "adversary/crash_plan.hpp"
-#include "common/ids.hpp"
-#include "core/async_crash.hpp"
-#include "net/sim.hpp"
+#include "harness/harness.hpp"
 
 namespace apxa::core {
 
-enum class ProtocolKind : std::uint8_t {
-  kCrashRound,  ///< Fekete-style round-based (crash model)
-  kByzRound,    ///< DLPSW asynchronous byzantine (t < n/5)
-  kWitness,     ///< AAD'04 witness technique (t < n/3)
-};
+using harness::BackendKind;
+using harness::ProtocolKind;
+using harness::RunConfig;
+using harness::RunReport;
+using harness::SchedKind;
 
-enum class SchedKind : std::uint8_t {
-  kRandom,
-  kFifo,
-  kGreedySplit,
-  kTargeted,
-  kClique,  ///< isolates the last t parties from an (n-t)-clique
-};
-
-struct RunConfig {
-  SystemParams params;
-  ProtocolKind protocol = ProtocolKind::kCrashRound;
-  Averager averager = Averager::kMean;  ///< round-based protocols only
-  TerminationMode mode = TerminationMode::kFixedRounds;
-  Round fixed_rounds = 1;       ///< iterations (fixed mode / witness / live horizon)
-  double epsilon = 1e-3;
-  double adaptive_slack = 4.0;
-  std::vector<double> inputs;   ///< size n; faulty parties' entries unused
-  SchedKind sched = SchedKind::kRandom;
-  std::uint64_t seed = 1;
-  std::vector<adversary::CrashSpec> crashes;
-  std::vector<adversary::ByzSpec> byz;
-  std::uint64_t max_deliveries = 50'000'000;
-  /// Allow more than t faults — used by the resilience-boundary experiments
-  /// to demonstrate how safety breaks when assumptions are violated.
-  bool allow_excess_faults = false;
-};
-
-struct RunReport {
-  net::RunStatus status = net::RunStatus::kQueueDrained;
-  bool all_output = false;
-  std::vector<double> outputs;          ///< correct parties' outputs
-  bool validity_ok = false;
-  double worst_pair_gap = 0.0;
-  bool agreement_ok = false;            ///< worst_pair_gap <= eps
-  double finish_time = 0.0;             ///< max output time, in Delta units
-  net::Metrics metrics;
-  std::vector<double> spread_by_round;  ///< correct-party spread at round entry
-  Round max_round_reached = 0;
-  /// Per-round observed convergence factors spread[r] / spread[r+1]
-  /// (only rounds where both spreads are positive).
-  std::vector<double> round_factors;
-};
-
-/// Run one complete asynchronous execution.
-RunReport run_async(const RunConfig& cfg);
-
-/// Convenience: evenly spaced inputs over [lo, hi].
-std::vector<double> linear_inputs(std::uint32_t n, double lo, double hi);
-
-/// Convenience: a/n parties at hi, the rest at lo (the binary configurations
-/// the lower-bound arguments use).
-std::vector<double> split_inputs(std::uint32_t n, std::uint32_t count_hi, double lo,
-                                 double hi);
-
-/// Convenience: uniform random inputs in [lo, hi].
-std::vector<double> random_inputs(Rng& rng, std::uint32_t n, double lo, double hi);
+using harness::linear_inputs;
+using harness::random_inputs;
+using harness::run_async;
+using harness::split_inputs;
 
 }  // namespace apxa::core

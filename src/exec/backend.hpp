@@ -1,0 +1,102 @@
+// Execution backend abstraction.
+//
+// The protocol state machines (net::Process) are transport-independent; a
+// Backend seats one concrete transport — the deterministic discrete-event
+// simulator (exec::SimBackend / net::SimNetwork) or the threaded in-process
+// runtime (exec::ThreadBackend / rt::ThreadNetwork) — behind one interface:
+// register processes, inject faults, run until every correct party is done,
+// collect outputs, per-party finish times and communication metrics.
+//
+// The harness layer (src/harness) builds processes and fault plans from a
+// RunConfig once and executes them on any Backend, so every protocol x
+// scheduler x adversary scenario runs unchanged on the simulator and under
+// genuine OS-scheduler asynchrony, with the same validity / eps-agreement
+// verdicts.
+//
+// Lifecycle: add_process (n times, in id order) and the fault-injection calls
+// must precede run(); run() may be called once.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "net/metrics.hpp"
+#include "net/process.hpp"
+#include "net/status.hpp"
+
+namespace apxa::exec {
+
+/// Per-process completion probe, evaluated in whatever context owns the
+/// process (the simulator loop, or the party's own worker thread — never
+/// concurrently with an upcall into the same process).  It must only read.
+/// An empty predicate means "has produced an output".
+///
+/// Backends evaluate the probe only on parties that are still correct (not
+/// crashed, not marked byzantine), so a probe may downcast to the concrete
+/// honest-protocol type (the live-horizon probe does).
+using DonePredicate = std::function<bool(const net::Process&)>;
+
+struct ExecOptions {
+  /// Simulator delivery budget (ignored by the threaded backend).
+  std::uint64_t max_deliveries = 50'000'000;
+  /// Wall-clock cap for the threaded backend (ignored by the simulator).
+  std::chrono::milliseconds timeout{20'000};
+  /// Completion probe; empty = party done once output() is non-empty.
+  DonePredicate done;
+};
+
+struct ExecResult {
+  net::RunStatus status = net::RunStatus::kQueueDrained;
+  /// True when every correct party has produced an output (note: under a
+  /// live-horizon DonePredicate a run can complete without any outputs).
+  bool all_correct_output = false;
+  /// Outputs of the parties correct at the end of the run, in id order.
+  std::vector<double> outputs;
+  /// Per-party time at which the output appeared: virtual time in Delta
+  /// units on the simulator, wall-clock seconds since run() on the threaded
+  /// backend; +inf where no output.  Size n.
+  std::vector<double> output_times;
+  /// Per-party "still correct at end of run" flags (crashed and byzantine
+  /// parties are false).  Size n.
+  std::vector<bool> correct;
+  net::Metrics metrics;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Register party `id == number of parties added so far`.
+  virtual void add_process(std::unique_ptr<net::Process> p) = 0;
+
+  /// Bookkeeping: exclude `p` from completion waits, verdicts and the
+  /// correct-party accessors.  The process itself still runs (byzantine
+  /// parties are ordinary Process implementations that misbehave).
+  virtual void mark_byzantine(ProcessId p) = 0;
+
+  /// Crash `p` immediately before its (count+1)-th send: the first `count`
+  /// sends of its lifetime go out, everything after is dropped, and `p`
+  /// receives no further deliveries.  count == 0 crashes it at startup.
+  virtual void crash_after_sends(ProcessId p, std::uint64_t count) = 0;
+
+  /// Override the receiver order used by p's multicasts.  Combined with
+  /// crash_after_sends this lets the adversary pick exactly which subset of
+  /// receivers a crashing multicast reaches.
+  virtual void set_multicast_order(ProcessId p, std::vector<ProcessId> order) = 0;
+
+  /// Execute until every correct party satisfies the completion probe, the
+  /// simulator queue drains, or a budget/timeout is hit.
+  virtual ExecResult run(const ExecOptions& opts) = 0;
+
+  [[nodiscard]] virtual SystemParams params() const = 0;
+
+  /// Stable identifier ("sim", "thread") for reports and test names.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace apxa::exec

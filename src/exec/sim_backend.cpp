@@ -1,0 +1,54 @@
+#include "exec/sim_backend.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace apxa::exec {
+
+SimBackend::SimBackend(SystemParams params,
+                       std::unique_ptr<sched::Scheduler> scheduler)
+    : net_(params, std::move(scheduler)) {}
+
+void SimBackend::add_process(std::unique_ptr<net::Process> p) {
+  net_.add_process(std::move(p));
+}
+
+void SimBackend::mark_byzantine(ProcessId p) { net_.mark_byzantine(p); }
+
+void SimBackend::crash_after_sends(ProcessId p, std::uint64_t count) {
+  net_.crash_after_sends(p, count);
+}
+
+void SimBackend::set_multicast_order(ProcessId p, std::vector<ProcessId> order) {
+  net_.set_multicast_order(p, std::move(order));
+}
+
+ExecResult SimBackend::run(const ExecOptions& opts) {
+  const auto n = net_.params().n;
+  net_.start();
+
+  auto all_correct_done = [this, n, &opts]() {
+    for (ProcessId p = 0; p < n; ++p) {
+      if (!net_.is_correct(p)) continue;
+      const net::Process& proc = net_.process(p);
+      const bool done = opts.done ? opts.done(proc) : proc.output().has_value();
+      if (!done) return false;
+    }
+    return true;
+  };
+
+  ExecResult res;
+  res.status = net_.run_until(all_correct_done, opts.max_deliveries);
+  res.all_correct_output = net_.all_correct_output();
+  res.outputs = net_.correct_outputs();
+  res.metrics = net_.metrics();
+  res.correct.resize(n);
+  res.output_times.resize(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    res.correct[p] = net_.is_correct(p);
+    res.output_times[p] = net_.output_time(p);
+  }
+  return res;
+}
+
+}  // namespace apxa::exec

@@ -1,0 +1,36 @@
+// Backend adapter over the threaded in-process runtime.
+//
+// Runs the same Process objects under genuine OS-scheduler asynchrony.
+// Message interleavings — and therefore any timing-dependent quantity
+// (finish times, exact crash cut points, per-round spreads) — are NOT
+// reproducible across runs; only the protocol-level guarantees (validity,
+// eps-agreement, termination) are, which is precisely what the harness
+// checks on this backend.
+#pragma once
+
+#include "exec/backend.hpp"
+#include "runtime/thread_net.hpp"
+
+namespace apxa::exec {
+
+class ThreadBackend final : public Backend {
+ public:
+  explicit ThreadBackend(SystemParams params) : net_(params) {}
+
+  void add_process(std::unique_ptr<net::Process> p) override;
+  void mark_byzantine(ProcessId p) override;
+  void crash_after_sends(ProcessId p, std::uint64_t count) override;
+  void set_multicast_order(ProcessId p, std::vector<ProcessId> order) override;
+  ExecResult run(const ExecOptions& opts) override;
+
+  [[nodiscard]] SystemParams params() const override { return net_.params(); }
+  [[nodiscard]] std::string_view name() const override { return "thread"; }
+
+  /// Escape hatch for runtime-only knobs (immediate crash()).
+  [[nodiscard]] rt::ThreadNetwork& network() { return net_; }
+
+ private:
+  rt::ThreadNetwork net_;
+};
+
+}  // namespace apxa::exec

@@ -1,0 +1,136 @@
+#include "harness/build.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/ensure.hpp"
+#include "core/async_byz.hpp"
+#include "core/codec.hpp"
+#include "sched/clique_scheduler.hpp"
+#include "sched/crash_timing_scheduler.hpp"
+#include "sched/fifo_scheduler.hpp"
+#include "sched/greedy_split_scheduler.hpp"
+#include "sched/random_scheduler.hpp"
+#include "witness/aad04.hpp"
+
+namespace apxa::harness {
+
+void validate(const RunConfig& cfg) {
+  const auto n = cfg.params.n;
+  APXA_ENSURE(cfg.inputs.size() == n, "inputs must have size n");
+  APXA_ENSURE(cfg.allow_excess_faults ||
+                  cfg.crashes.size() + cfg.byz.size() <= cfg.params.t,
+              "cannot exceed the fault budget t");
+  std::set<ProcessId> byz;
+  for (const auto& b : cfg.byz) {
+    APXA_ENSURE(b.who < n, "byzantine id out of range");
+    APXA_ENSURE(byz.insert(b.who).second, "duplicate byzantine id");
+  }
+  for (const auto& c : cfg.crashes) {
+    APXA_ENSURE(!byz.contains(c.who), "party cannot be both byz and crashed");
+  }
+}
+
+std::set<ProcessId> byzantine_ids(const RunConfig& cfg) {
+  std::set<ProcessId> ids;
+  for (const auto& b : cfg.byz) ids.insert(b.who);
+  return ids;
+}
+
+std::unique_ptr<sched::Scheduler> make_scheduler(const RunConfig& cfg) {
+  switch (cfg.sched) {
+    case SchedKind::kRandom:
+      return std::make_unique<sched::RandomScheduler>(cfg.seed);
+    case SchedKind::kFifo:
+      return std::make_unique<sched::FifoScheduler>();
+    case SchedKind::kGreedySplit:
+      return std::make_unique<sched::GreedySplitScheduler>(core::round_probe(),
+                                                           cfg.params.n);
+    case SchedKind::kTargeted:
+      return std::make_unique<sched::TargetedDelayScheduler>(cfg.seed);
+    case SchedKind::kClique: {
+      std::set<ProcessId> clique;
+      for (ProcessId p = 0; p < cfg.params.quorum(); ++p) clique.insert(p);
+      return std::make_unique<sched::CliqueScheduler>(std::move(clique));
+    }
+  }
+  APXA_ASSERT(false, "unknown scheduler kind");
+}
+
+std::vector<std::unique_ptr<net::Process>> build_processes(
+    const RunConfig& cfg, const core::TraceFn& trace) {
+  const auto n = cfg.params.n;
+  const auto byz = byzantine_ids(cfg);
+  std::vector<std::unique_ptr<net::Process>> procs;
+  procs.reserve(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    if (byz.contains(p)) {
+      const auto it = std::find_if(cfg.byz.begin(), cfg.byz.end(),
+                                   [p](const auto& b) { return b.who == p; });
+      if (cfg.protocol == ProtocolKind::kWitness) {
+        procs.push_back(std::make_unique<adversary::ByzWitnessProcess>(*it));
+      } else {
+        procs.push_back(std::make_unique<adversary::ByzRoundProcess>(*it));
+      }
+      continue;
+    }
+    switch (cfg.protocol) {
+      case ProtocolKind::kCrashRound:
+      case ProtocolKind::kByzRound: {
+        core::RoundAaConfig pc;
+        pc.params = cfg.params;
+        pc.input = cfg.inputs[p];
+        pc.averager = cfg.protocol == ProtocolKind::kByzRound
+                          ? core::Averager::kDlpswAsync
+                          : cfg.averager;
+        pc.mode = cfg.mode;
+        pc.fixed_rounds = cfg.fixed_rounds;
+        pc.epsilon = cfg.epsilon;
+        pc.adaptive_slack = cfg.adaptive_slack;
+        pc.byzantine_safe_estimate = cfg.protocol == ProtocolKind::kByzRound;
+        pc.trace = trace;
+        procs.push_back(std::make_unique<core::RoundAaProcess>(pc));
+        break;
+      }
+      case ProtocolKind::kWitness: {
+        witness::WitnessConfig wc;
+        wc.params = cfg.params;
+        wc.input = cfg.inputs[p];
+        wc.iterations = cfg.fixed_rounds;
+        wc.trace = trace;
+        procs.push_back(std::make_unique<witness::WitnessAaProcess>(wc));
+        break;
+      }
+    }
+  }
+  return procs;
+}
+
+void stage(const RunConfig& cfg, const core::TraceFn& trace,
+           exec::Backend& backend) {
+  validate(cfg);
+  for (auto& proc : build_processes(cfg, trace)) {
+    backend.add_process(std::move(proc));
+  }
+  for (ProcessId b : byzantine_ids(cfg)) backend.mark_byzantine(b);
+  adversary::install(backend, cfg.crashes);
+}
+
+exec::DonePredicate make_done_predicate(const RunConfig& cfg) {
+  if (cfg.mode != core::TerminationMode::kLive) return {};
+  // Live protocols never output; a party is done once it has entered
+  // round/iteration `fixed_rounds` (the observation horizon).
+  const Round horizon = cfg.fixed_rounds;
+  if (cfg.protocol == ProtocolKind::kWitness) {
+    return [horizon](const net::Process& pr) {
+      const auto& w = dynamic_cast<const witness::WitnessAaProcess&>(pr);
+      return w.current_iteration() >= horizon;
+    };
+  }
+  return [horizon](const net::Process& pr) {
+    const auto& r = dynamic_cast<const core::RoundAaProcess&>(pr);
+    return r.current_round() >= horizon;
+  };
+}
+
+}  // namespace apxa::harness

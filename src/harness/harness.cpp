@@ -1,0 +1,114 @@
+#include "harness/harness.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "core/bounds.hpp"
+#include "exec/sim_backend.hpp"
+#include "exec/thread_backend.hpp"
+#include "harness/build.hpp"
+
+namespace apxa::harness {
+
+std::unique_ptr<exec::Backend> make_backend(const RunConfig& cfg) {
+  switch (cfg.backend) {
+    case BackendKind::kSim:
+      return std::make_unique<exec::SimBackend>(cfg.params, make_scheduler(cfg));
+    case BackendKind::kThread:
+      return std::make_unique<exec::ThreadBackend>(cfg.params);
+  }
+  APXA_ASSERT(false, "unknown backend kind");
+}
+
+RunReport execute(const RunConfig& cfg, exec::Backend& backend) {
+  const auto n = cfg.params.n;
+
+  // Trace: values at round entry, per party.  Worker threads of the threaded
+  // backend invoke the hook concurrently, hence the mutex (uncontended and
+  // irrelevant for timing on the simulator).
+  std::map<Round, std::map<ProcessId, double>> trace;
+  std::mutex trace_mu;
+  core::TraceFn trace_fn = [&trace, &trace_mu](ProcessId p, Round r, double v) {
+    std::scoped_lock lock(trace_mu);
+    trace[r][p] = v;
+  };
+
+  stage(cfg, trace_fn, backend);
+
+  exec::ExecOptions opts;
+  opts.max_deliveries = cfg.max_deliveries;
+  opts.timeout = cfg.thread_timeout;
+  opts.done = make_done_predicate(cfg);
+  const exec::ExecResult res = backend.run(opts);
+
+  RunReport rep;
+  rep.status = res.status;
+  rep.all_output = res.all_correct_output;
+  rep.outputs = res.outputs;
+  rep.metrics = res.metrics;
+
+  // Validity hull: inputs of every non-byzantine party (crash faults do not
+  // lie, so crashed parties' genuine inputs legitimately bound outputs).
+  const auto byz = byzantine_ids(cfg);
+  std::vector<double> honest_inputs;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (!byz.contains(p)) honest_inputs.push_back(cfg.inputs[p]);
+  }
+  const core::Interval hull = core::hull_of(honest_inputs);
+
+  rep.validity_ok = std::all_of(rep.outputs.begin(), rep.outputs.end(),
+                                [&hull](double y) { return hull.contains(y); });
+  {
+    std::vector<double> sorted = rep.outputs;
+    std::sort(sorted.begin(), sorted.end());
+    rep.worst_pair_gap = core::spread(sorted);
+    rep.agreement_ok = rep.worst_pair_gap <= cfg.epsilon + 1e-12;
+  }
+
+  for (ProcessId p = 0; p < n; ++p) {
+    if (res.correct[p]) {
+      rep.finish_time = std::max(rep.finish_time, res.output_times[p]);
+    }
+  }
+
+  // Per-round spreads over parties that stayed correct to the end.
+  for (const auto& [round, entries] : trace) {
+    std::vector<double> vals;
+    for (const auto& [p, v] : entries) {
+      if (res.correct[p]) vals.push_back(v);
+    }
+    if (vals.empty()) continue;
+    std::sort(vals.begin(), vals.end());
+    rep.spread_by_round.push_back(core::spread(vals));
+    rep.max_round_reached = std::max(rep.max_round_reached, round);
+  }
+  for (std::size_t r = 0; r + 1 < rep.spread_by_round.size(); ++r) {
+    const double a = rep.spread_by_round[r];
+    const double b = rep.spread_by_round[r + 1];
+    if (a > 0.0 && b > 0.0) rep.round_factors.push_back(a / b);
+  }
+  return rep;
+}
+
+RunReport run(const RunConfig& cfg) {
+  const auto backend = make_backend(cfg);
+  return execute(cfg, *backend);
+}
+
+RunReport run_async(const RunConfig& cfg) {
+  RunConfig c = cfg;
+  c.backend = BackendKind::kSim;
+  return run(c);
+}
+
+RunReport run_threaded(const RunConfig& cfg) {
+  RunConfig c = cfg;
+  c.backend = BackendKind::kThread;
+  return run(c);
+}
+
+}  // namespace apxa::harness

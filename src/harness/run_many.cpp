@@ -1,0 +1,62 @@
+#include "harness/run_many.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace apxa::harness {
+
+unsigned sweep_workers(std::size_t jobs, unsigned requested) {
+  unsigned w = requested;
+  if (w == 0) {
+    if (const char* env = std::getenv("APXA_SWEEP_WORKERS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) w = static_cast<unsigned>(v);
+    }
+  }
+  if (w == 0) w = std::thread::hardware_concurrency();
+  if (w == 0) w = 1;
+  if (jobs < w) w = static_cast<unsigned>(jobs);
+  return w;
+}
+
+std::vector<RunReport> run_many(const std::vector<RunConfig>& cfgs,
+                                SweepOptions opts) {
+  std::vector<RunReport> reports(cfgs.size());
+  if (cfgs.empty()) return reports;
+
+  const unsigned workers = sweep_workers(cfgs.size(), opts.workers);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < cfgs.size(); ++i) reports[i] = run(cfgs[i]);
+    return reports;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(cfgs.size());
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= cfgs.size()) return;
+          try {
+            reports[i] = run(cfgs[i]);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+      });
+    }
+  }  // jthreads join here
+
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return reports;
+}
+
+}  // namespace apxa::harness

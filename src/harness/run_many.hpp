@@ -1,0 +1,40 @@
+// Parallel sweep runner: fan independent RunConfigs over a thread pool.
+//
+// Every experiment sweep in bench/ is an embarrassingly parallel loop over
+// (scheduler, seed, input-family, ...) configurations; run_many executes
+// them on a pool of worker threads and returns the reports in INPUT ORDER,
+// so aggregation is deterministic regardless of which worker finished first.
+// Each simulator run is itself deterministic (seeded), hence
+//     run_many(cfgs) == {run(cfgs[0]), run(cfgs[1]), ...}
+// bit-for-bit, at up to hardware_concurrency times the speed.
+//
+// Worker count: SweepOptions::workers, else the APXA_SWEEP_WORKERS
+// environment variable, else hardware_concurrency — always clamped to the
+// job count.  Configs that select the threaded backend spawn n threads of
+// their own per run; prefer workers = 1 for those sweeps.
+//
+// Errors: if any run throws, run_many rethrows the lowest-index exception
+// after all workers drained (no detached work is left behind).
+#pragma once
+
+#include <vector>
+
+#include "harness/harness.hpp"
+#include "harness/scenario.hpp"
+
+namespace apxa::harness {
+
+struct SweepOptions {
+  /// 0 = auto (APXA_SWEEP_WORKERS env var, else hardware_concurrency).
+  unsigned workers = 0;
+};
+
+/// The worker count run_many would use for `jobs` configs.
+unsigned sweep_workers(std::size_t jobs, unsigned requested);
+
+/// Execute every config (in any order, on a pool) and return the reports in
+/// input order.
+std::vector<RunReport> run_many(const std::vector<RunConfig>& cfgs,
+                                SweepOptions opts = {});
+
+}  // namespace apxa::harness

@@ -1,0 +1,30 @@
+#include "harness/scenario.hpp"
+
+#include "common/ensure.hpp"
+
+namespace apxa::harness {
+
+std::vector<double> linear_inputs(std::uint32_t n, double lo, double hi) {
+  APXA_ENSURE(n >= 1, "need at least one input");
+  std::vector<double> v(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    v[i] = n == 1 ? lo : lo + (hi - lo) * static_cast<double>(i) / (n - 1);
+  }
+  return v;
+}
+
+std::vector<double> split_inputs(std::uint32_t n, std::uint32_t count_hi, double lo,
+                                 double hi) {
+  APXA_ENSURE(count_hi <= n, "count_hi must be at most n");
+  std::vector<double> v(n, lo);
+  for (std::uint32_t i = 0; i < count_hi; ++i) v[n - 1 - i] = hi;
+  return v;
+}
+
+std::vector<double> random_inputs(Rng& rng, std::uint32_t n, double lo, double hi) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.next_double(lo, hi);
+  return v;
+}
+
+}  // namespace apxa::harness

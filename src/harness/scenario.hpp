@@ -1,0 +1,100 @@
+// Scenario specification for end-to-end asynchronous executions.
+//
+// One RunConfig describes a complete experiment — system size, protocol,
+// averaging rule, termination mode, inputs, scheduler, adversary (crash and
+// byzantine specs) — independently of the transport that executes it.  The
+// harness (harness.hpp) builds processes and fault plans from it once and
+// runs them on any exec::Backend; RunReport carries the backend-independent
+// verdicts:
+//   validity        — every correct output lies in the hull of the
+//                     non-byzantine parties' inputs;
+//   eps-agreement   — every two correct outputs differ by at most eps;
+// plus the per-round spread trace (for the convergence-rate experiments),
+// the communication metrics, and the finish time (Delta-normalized
+// asynchronous round complexity on the simulator; wall-clock seconds on the
+// threaded backend).
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "adversary/byzantine.hpp"
+#include "adversary/crash_plan.hpp"
+#include "common/ids.hpp"
+#include "core/async_crash.hpp"
+#include "net/metrics.hpp"
+#include "net/status.hpp"
+
+namespace apxa::harness {
+
+enum class ProtocolKind : std::uint8_t {
+  kCrashRound,  ///< Fekete-style round-based (crash model)
+  kByzRound,    ///< DLPSW asynchronous byzantine (t < n/5)
+  kWitness,     ///< AAD'04 witness technique (t < n/3)
+};
+
+enum class SchedKind : std::uint8_t {
+  kRandom,
+  kFifo,
+  kGreedySplit,
+  kTargeted,
+  kClique,  ///< isolates the last t parties from an (n-t)-clique
+};
+
+enum class BackendKind : std::uint8_t {
+  kSim,     ///< deterministic discrete-event simulator (net::SimNetwork)
+  kThread,  ///< threaded runtime, real concurrency (rt::ThreadNetwork)
+};
+
+struct RunConfig {
+  SystemParams params;
+  ProtocolKind protocol = ProtocolKind::kCrashRound;
+  core::Averager averager = core::Averager::kMean;  ///< round-based only
+  core::TerminationMode mode = core::TerminationMode::kFixedRounds;
+  Round fixed_rounds = 1;       ///< iterations (fixed mode / witness / live horizon)
+  double epsilon = 1e-3;
+  double adaptive_slack = 4.0;
+  std::vector<double> inputs;   ///< size n; faulty parties' entries unused
+  SchedKind sched = SchedKind::kRandom;
+  std::uint64_t seed = 1;
+  std::vector<adversary::CrashSpec> crashes;
+  std::vector<adversary::ByzSpec> byz;
+  std::uint64_t max_deliveries = 50'000'000;
+  /// Allow more than t faults — used by the resilience-boundary experiments
+  /// to demonstrate how safety breaks when assumptions are violated.
+  bool allow_excess_faults = false;
+  /// Which transport executes the scenario (run() dispatches on this; the
+  /// scheduler/seed fields only affect the simulator).
+  BackendKind backend = BackendKind::kSim;
+  /// Wall-clock cap for the threaded backend (ignored by the simulator).
+  std::chrono::milliseconds thread_timeout{20'000};
+};
+
+struct RunReport {
+  net::RunStatus status = net::RunStatus::kQueueDrained;
+  bool all_output = false;
+  std::vector<double> outputs;          ///< correct parties' outputs
+  bool validity_ok = false;
+  double worst_pair_gap = 0.0;
+  bool agreement_ok = false;            ///< worst_pair_gap <= eps
+  double finish_time = 0.0;             ///< max output time (Delta units on sim)
+  net::Metrics metrics;
+  std::vector<double> spread_by_round;  ///< correct-party spread at round entry
+  Round max_round_reached = 0;
+  /// Per-round observed convergence factors spread[r] / spread[r+1]
+  /// (only rounds where both spreads are positive).
+  std::vector<double> round_factors;
+};
+
+/// Convenience: evenly spaced inputs over [lo, hi].
+std::vector<double> linear_inputs(std::uint32_t n, double lo, double hi);
+
+/// Convenience: a/n parties at hi, the rest at lo (the binary configurations
+/// the lower-bound arguments use).
+std::vector<double> split_inputs(std::uint32_t n, std::uint32_t count_hi, double lo,
+                                 double hi);
+
+/// Convenience: uniform random inputs in [lo, hi].
+std::vector<double> random_inputs(Rng& rng, std::uint32_t n, double lo, double hi);
+
+}  // namespace apxa::harness

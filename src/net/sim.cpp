@@ -97,7 +97,12 @@ void SimNetwork::start() {
 }
 
 void SimNetwork::do_send(ProcessId from, ProcessId to, Bytes payload) {
-  if (status_[from] == PartyStatus::kCrashed) return;
+  if (status_[from] == PartyStatus::kCrashed) {
+    // Every send attempted by an already-crashed party counts as dropped
+    // (same accounting on both backends — see rt::ThreadNetwork::post).
+    ++metrics_.messages_dropped;
+    return;
+  }
   if (sends_made_[from] >= crash_send_limit_[from]) {
     // The crash fires exactly at this send: the message is lost.
     status_[from] = PartyStatus::kCrashed;

@@ -30,17 +30,12 @@
 #include "net/message.hpp"
 #include "net/metrics.hpp"
 #include "net/process.hpp"
+#include "net/status.hpp"
 #include "sched/scheduler.hpp"
 
 namespace apxa::net {
 
 enum class PartyStatus : std::uint8_t { kCorrect, kCrashed, kByzantine };
-
-enum class RunStatus : std::uint8_t {
-  kPredicateSatisfied,  ///< run_until's predicate became true
-  kQueueDrained,        ///< no messages left to deliver
-  kBudgetExhausted,     ///< delivery budget hit (likely a liveness bug)
-};
 
 class SimNetwork final {
  public:

@@ -1,0 +1,17 @@
+// Terminal status of one execution, shared by every backend (the
+// discrete-event simulator and the threaded runtime report through the same
+// enum so harness-level code is backend-agnostic).
+#pragma once
+
+#include <cstdint>
+
+namespace apxa::net {
+
+enum class RunStatus : std::uint8_t {
+  kPredicateSatisfied,  ///< the completion predicate became true
+  kQueueDrained,        ///< no messages left to deliver (simulator)
+  kBudgetExhausted,     ///< delivery budget hit (likely a liveness bug)
+  kTimedOut,            ///< wall-clock timeout elapsed (threaded runtime)
+};
+
+}  // namespace apxa::net

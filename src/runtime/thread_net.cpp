@@ -1,10 +1,16 @@
 #include "runtime/thread_net.hpp"
 
 #include <chrono>
+#include <limits>
+#include <utility>
 
 #include "common/ensure.hpp"
 
 namespace apxa::rt {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
 
 class ThreadNetwork::ContextImpl final : public net::Context {
  public:
@@ -17,6 +23,11 @@ class ThreadNetwork::ContextImpl final : public net::Context {
   }
 
   void multicast(const Bytes& payload) override {
+    const auto& order = net_.multicast_order_[self_];
+    if (!order.empty()) {
+      for (ProcessId to : order) net_.post(self_, to, payload);
+      return;
+    }
     for (ProcessId to = 0; to < net_.params_.n; ++to) {
       if (to == self_) continue;
       net_.post(self_, to, payload);
@@ -34,15 +45,24 @@ class ThreadNetwork::ContextImpl final : public net::Context {
 ThreadNetwork::ThreadNetwork(SystemParams params)
     : params_(params),
       crashed_(params.n),
+      byzantine_(params.n, false),
+      sends_made_(params.n),
+      send_limit_(params.n, kNoLimit),
+      multicast_order_(params.n),
       has_output_(params.n),
-      output_value_(params.n) {
+      output_value_(params.n),
+      output_time_(params.n),
+      done_(params.n) {
   APXA_ENSURE(params_.n >= 1 && params_.t < params_.n, "bad system params");
   boxes_.reserve(params_.n);
   for (std::uint32_t i = 0; i < params_.n; ++i) {
     boxes_.push_back(std::make_unique<Mailbox>());
     crashed_[i] = false;
+    sends_made_[i] = 0;
     has_output_[i] = false;
     output_value_[i] = 0.0;
+    output_time_[i] = kInf;
+    done_[i] = false;
   }
   metrics_.reset(params_.n);
 }
@@ -66,8 +86,55 @@ void ThreadNetwork::crash(ProcessId p) {
   boxes_[p]->cv.notify_all();
 }
 
+void ThreadNetwork::crash_after_sends(ProcessId p, std::uint64_t count) {
+  APXA_ENSURE(p < params_.n, "crash id out of range");
+  APXA_ENSURE(!started_.load(), "crash_after_sends must precede run()");
+  send_limit_[p] = count;
+  if (count == 0) crashed_[p] = true;
+}
+
+void ThreadNetwork::set_multicast_order(ProcessId p, std::vector<ProcessId> order) {
+  APXA_ENSURE(p < params_.n, "multicast order id out of range");
+  APXA_ENSURE(!started_.load(), "set_multicast_order must precede run()");
+  for (ProcessId q : order) {
+    APXA_ENSURE(q < params_.n && q != p, "multicast order must list other parties");
+  }
+  multicast_order_[p] = std::move(order);
+}
+
+void ThreadNetwork::mark_byzantine(ProcessId p) {
+  APXA_ENSURE(p < params_.n, "byzantine id out of range");
+  APXA_ENSURE(!started_.load(), "mark_byzantine must precede run()");
+  byzantine_[p] = true;
+}
+
+void ThreadNetwork::set_done_predicate(DonePredicate pred) {
+  APXA_ENSURE(!started_.load(), "set_done_predicate must precede run()");
+  done_pred_ = std::move(pred);
+}
+
 void ThreadNetwork::post(ProcessId from, ProcessId to, Bytes payload) {
-  if (crashed_[from].load(std::memory_order_relaxed)) return;
+  // A party's sends all come from its own worker thread, so the crash check,
+  // send counter and limit comparison need no cross-send synchronization.
+  if (crashed_[from].load(std::memory_order_relaxed)) {
+    // Every send attempted by an already-crashed party counts as dropped
+    // (same accounting on both backends — see net::SimNetwork::do_send).
+    std::scoped_lock lock(metrics_mu_);
+    ++metrics_.messages_dropped;
+    return;
+  }
+  const std::uint64_t made = sends_made_[from].fetch_add(1, std::memory_order_relaxed);
+  if (made >= send_limit_[from]) {
+    // The crash fires exactly at this send: the message is lost, and a
+    // multicast in progress stops here (simulator-parity semantics).
+    crashed_[from].store(true, std::memory_order_relaxed);
+    {
+      std::scoped_lock lock(metrics_mu_);
+      ++metrics_.messages_dropped;
+    }
+    boxes_[from]->cv.notify_all();
+    return;
+  }
   {
     std::scoped_lock lock(metrics_mu_);
     ++metrics_.messages_sent;
@@ -81,15 +148,35 @@ void ThreadNetwork::post(ProcessId from, ProcessId to, Bytes payload) {
     box.queue.emplace_back(from, std::move(payload));
   }
   box.cv.notify_one();
+
+  // A send-limit crash that lands exactly on the new count takes effect now
+  // (simulator parity: SimNetwork::do_send's post-enqueue check), so a party
+  // whose budget covers all the sends it ever makes still stops receiving.
+  if (made + 1 >= send_limit_[from]) {
+    crashed_[from].store(true, std::memory_order_relaxed);
+    boxes_[from]->cv.notify_all();
+  }
 }
 
 void ThreadNetwork::deliver_loop(ProcessId p, std::stop_token st) {
   ContextImpl ctx(*this, p);
   auto publish = [this, p] {
-    if (has_output_[p].load(std::memory_order_acquire)) return;
-    if (const auto y = procs_[p]->output()) {
-      output_value_[p].store(*y, std::memory_order_release);
-      has_output_[p].store(true, std::memory_order_release);
+    if (!has_output_[p].load(std::memory_order_acquire)) {
+      if (const auto y = procs_[p]->output()) {
+        const std::chrono::duration<double> since =
+            std::chrono::steady_clock::now() - start_time_;
+        output_value_[p].store(*y, std::memory_order_release);
+        output_time_[p].store(since.count(), std::memory_order_release);
+        has_output_[p].store(true, std::memory_order_release);
+      }
+    }
+    // The completion probe contract only covers correct parties (it may
+    // downcast to the honest-protocol type), so skip byzantine/crashed ones.
+    if (!byzantine_[p] && !crashed_[p].load(std::memory_order_relaxed) &&
+        !done_[p].load(std::memory_order_acquire)) {
+      const bool d = done_pred_ ? done_pred_(*procs_[p])
+                                : has_output_[p].load(std::memory_order_acquire);
+      if (d) done_[p].store(true, std::memory_order_release);
     }
   };
   if (!crashed_[p].load()) {
@@ -124,24 +211,27 @@ bool ThreadNetwork::run(std::chrono::milliseconds timeout) {
   APXA_ENSURE(procs_.size() == params_.n, "add_process must be called n times");
   APXA_ENSURE(!started_.exchange(true), "run() called twice");
 
+  start_time_ = std::chrono::steady_clock::now();
   threads_.reserve(params_.n);
   for (ProcessId p = 0; p < params_.n; ++p) {
     threads_.emplace_back(
         [this, p](std::stop_token st) { deliver_loop(p, st); });
   }
 
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
-  bool done = false;
-  while (std::chrono::steady_clock::now() < deadline) {
-    done = true;
+  const auto deadline = start_time_ + timeout;
+  auto all_done = [this] {
     for (ProcessId p = 0; p < params_.n; ++p) {
-      if (crashed_[p].load()) continue;
-      if (!has_output_[p].load(std::memory_order_acquire)) {
-        done = false;
-        break;
-      }
+      if (crashed_[p].load() || byzantine_[p]) continue;
+      if (!done_[p].load(std::memory_order_acquire)) return false;
     }
-    if (done) break;
+    return true;
+  };
+  // Completion is re-checked after the deadline passes, so a run that
+  // finishes during the final poll interval is not misreported as a timeout.
+  bool done = false;
+  for (;;) {
+    done = all_done();
+    if (done || std::chrono::steady_clock::now() >= deadline) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
 
@@ -156,12 +246,41 @@ bool ThreadNetwork::run(std::chrono::milliseconds timeout) {
 std::vector<double> ThreadNetwork::correct_outputs() const {
   std::vector<double> out;
   for (ProcessId p = 0; p < params_.n; ++p) {
-    if (crashed_[p].load()) continue;
+    if (!is_correct(p)) continue;
     if (has_output_[p].load(std::memory_order_acquire)) {
       out.push_back(output_value_[p].load(std::memory_order_acquire));
     }
   }
   return out;
+}
+
+bool ThreadNetwork::is_correct(ProcessId p) const {
+  APXA_ENSURE(p < params_.n, "process id out of range");
+  return !crashed_[p].load() && !byzantine_[p];
+}
+
+bool ThreadNetwork::has_output(ProcessId p) const {
+  APXA_ENSURE(p < params_.n, "process id out of range");
+  return has_output_[p].load(std::memory_order_acquire);
+}
+
+double ThreadNetwork::output_value(ProcessId p) const {
+  APXA_ENSURE(p < params_.n, "process id out of range");
+  return output_value_[p].load(std::memory_order_acquire);
+}
+
+double ThreadNetwork::output_time(ProcessId p) const {
+  APXA_ENSURE(p < params_.n, "process id out of range");
+  return output_time_[p].load(std::memory_order_acquire);
+}
+
+bool ThreadNetwork::all_correct_output() const {
+  for (ProcessId p = 0; p < params_.n; ++p) {
+    if (is_correct(p) && !has_output_[p].load(std::memory_order_acquire)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace apxa::rt

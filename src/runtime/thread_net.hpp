@@ -1,22 +1,37 @@
 // Threaded in-process runtime: the same Process objects, real concurrency.
 //
 // The deterministic simulator is the workhorse for experiments; this runtime
-// demonstrates that the protocol state machines are transport-independent and
-// exercises them under genuine (OS-scheduler) asynchrony, which is the kind
-// of "manual threading/messaging boilerplate" a deployment needs.
+// runs the identical protocol state machines under genuine (OS-scheduler)
+// asynchrony and carries real experiment traffic through the execution
+// harness (src/harness) via exec::ThreadBackend.
 //
 // Design: one jthread and one mailbox (mutex + condition variable) per party.
 // send() enqueues into the receiver's mailbox; each thread loops popping
 // messages and invoking on_message.  A party's Process is only ever touched
-// by its own thread.  Crash injection: crash(p) makes the party drop all
-// future sends and deliveries.  Stop: request_stop() after the completion
-// predicate holds; threads drain and join (jthread joins on destruction —
-// CP.25's joining-thread discipline).
+// by its own thread.  Stop: request_stop() after the completion predicate
+// holds; threads drain and join (jthread joins on destruction — CP.25's
+// joining-thread discipline).
+//
+// Fault injection mirrors the simulator's semantics so crash scenarios are
+// portable across backends:
+//   crash(p)                  — immediate: all future sends/deliveries drop;
+//   crash_after_sends(p, k)   — the party's first k sends go out, the (k+1)-th
+//                               is dropped and the party stops (a multicast in
+//                               progress reaches only the receivers already
+//                               sent to);
+//   set_multicast_order(p, o) — receiver order used by p's multicasts, so the
+//                               adversary picks which subset a crashing
+//                               multicast reaches;
+//   mark_byzantine(p)         — bookkeeping: excluded from completion waits
+//                               and the correct-party accessors (the process
+//                               still runs and misbehaves on its own).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -30,6 +45,11 @@ namespace apxa::rt {
 
 class ThreadNetwork final {
  public:
+  /// Per-process completion probe; evaluated by the party's own worker
+  /// thread between upcalls, only while the party is correct.  Empty =
+  /// "has produced an output".
+  using DonePredicate = std::function<bool(const net::Process&)>;
+
   explicit ThreadNetwork(SystemParams params);
   ~ThreadNetwork();
 
@@ -43,13 +63,38 @@ class ThreadNetwork final {
   /// Safe to call while running.
   void crash(ProcessId p);
 
-  /// Start all threads, wait until every non-crashed party has an output or
-  /// the timeout elapses; then stop and join.  Returns true when all correct
-  /// parties produced outputs.
+  /// Crash `p` immediately before its (count+1)-th send (simulator-parity
+  /// semantics; count == 0 crashes it at startup).  Must precede run().
+  void crash_after_sends(ProcessId p, std::uint64_t count);
+
+  /// Override the receiver order used by p's multicasts.  Must precede run().
+  void set_multicast_order(ProcessId p, std::vector<ProcessId> order);
+
+  /// Declare a party byzantine (bookkeeping only).  Must precede run().
+  void mark_byzantine(ProcessId p);
+
+  /// Install the completion probe run() waits on.  Must precede run().
+  void set_done_predicate(DonePredicate pred);
+
+  /// Start all threads, wait until every correct party satisfies the
+  /// completion probe or the timeout elapses; then stop and join.  Returns
+  /// true when all correct parties completed.
   bool run(std::chrono::milliseconds timeout);
 
+  /// Outputs of the correct parties (in id order) that have output.
   [[nodiscard]] std::vector<double> correct_outputs() const;
   [[nodiscard]] const net::Metrics& metrics() const { return metrics_; }
+  [[nodiscard]] SystemParams params() const { return params_; }
+
+  /// True when `p` neither crashed nor was marked byzantine.
+  [[nodiscard]] bool is_correct(ProcessId p) const;
+  [[nodiscard]] bool has_output(ProcessId p) const;
+  [[nodiscard]] double output_value(ProcessId p) const;
+  /// Wall-clock seconds from run() start to the output's appearance; +inf
+  /// where no output.
+  [[nodiscard]] double output_time(ProcessId p) const;
+  /// True when every correct party has produced an output.
+  [[nodiscard]] bool all_correct_output() const;
 
  private:
   struct Mailbox {
@@ -67,14 +112,24 @@ class ThreadNetwork final {
   std::vector<std::unique_ptr<net::Process>> procs_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::vector<std::atomic<bool>> crashed_;
-  // Output mirrors: each worker thread publishes its process's output here so
-  // the coordinator can poll without racing on Process state.
+  std::vector<bool> byzantine_;                    // set before run()
+  std::vector<std::atomic<std::uint64_t>> sends_made_;
+  std::vector<std::uint64_t> send_limit_;          // kNoLimit if none
+  std::vector<std::vector<ProcessId>> multicast_order_;
+  // Output/completion mirrors: each worker thread publishes its process's
+  // state here so the coordinator can poll without racing on Process state.
   std::vector<std::atomic<bool>> has_output_;
   std::vector<std::atomic<double>> output_value_;
+  std::vector<std::atomic<double>> output_time_;   // seconds; +inf if none
+  std::vector<std::atomic<bool>> done_;
+  DonePredicate done_pred_;                        // set before run()
+  std::chrono::steady_clock::time_point start_time_;
   std::vector<std::jthread> threads_;
   net::Metrics metrics_;
   std::mutex metrics_mu_;
   std::atomic<bool> started_{false};
+
+  static constexpr std::uint64_t kNoLimit = UINT64_MAX;
 };
 
 }  // namespace apxa::rt

@@ -1,0 +1,94 @@
+// Parallel sweep runner: same seeds => same aggregate, regardless of worker
+// count or completion order.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/run_many.hpp"
+
+namespace apxa::harness {
+namespace {
+
+std::vector<RunConfig> sample_grid() {
+  std::vector<RunConfig> grid;
+  for (const auto sched : {SchedKind::kRandom, SchedKind::kGreedySplit}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      RunConfig cfg;
+      cfg.params = {7, 2};
+      cfg.protocol = ProtocolKind::kCrashRound;
+      cfg.fixed_rounds = 6;
+      cfg.epsilon = 1e-2;
+      cfg.inputs = linear_inputs(7, 0.0, 1.0);
+      cfg.sched = sched;
+      cfg.seed = seed;
+      grid.push_back(std::move(cfg));
+    }
+  }
+  return grid;
+}
+
+void expect_reports_equal(const RunReport& a, const RunReport& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.all_output, b.all_output);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.validity_ok, b.validity_ok);
+  EXPECT_EQ(a.agreement_ok, b.agreement_ok);
+  EXPECT_EQ(a.worst_pair_gap, b.worst_pair_gap);
+  EXPECT_EQ(a.finish_time, b.finish_time);
+  EXPECT_EQ(a.metrics.messages_sent, b.metrics.messages_sent);
+  EXPECT_EQ(a.metrics.messages_delivered, b.metrics.messages_delivered);
+  EXPECT_EQ(a.spread_by_round, b.spread_by_round);
+  EXPECT_EQ(a.round_factors, b.round_factors);
+}
+
+TEST(RunMany, MatchesSerialExecution) {
+  const auto grid = sample_grid();
+  const auto parallel = run_many(grid, {.workers = 4});
+  ASSERT_EQ(parallel.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    expect_reports_equal(parallel[i], run(grid[i]));
+  }
+}
+
+TEST(RunMany, SameSeedsSameAggregateAcrossWorkerCounts) {
+  const auto grid = sample_grid();
+  const auto one = run_many(grid, {.workers = 1});
+  const auto four = run_many(grid, {.workers = 4});
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    expect_reports_equal(one[i], four[i]);
+  }
+}
+
+TEST(RunMany, PreservesInputOrder) {
+  std::vector<RunConfig> grid;
+  for (std::uint32_t n = 4; n <= 9; ++n) {
+    RunConfig cfg;
+    cfg.params = {n, 1};
+    cfg.fixed_rounds = 3;
+    cfg.inputs = linear_inputs(n, 0.0, 1.0);
+    grid.push_back(std::move(cfg));
+  }
+  const auto reports = run_many(grid, {.workers = 3});
+  ASSERT_EQ(reports.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(reports[i].outputs.size(), grid[i].params.n) << "slot " << i;
+  }
+}
+
+TEST(RunMany, EmptySweep) { EXPECT_TRUE(run_many({}).empty()); }
+
+TEST(RunMany, PropagatesErrors) {
+  auto grid = sample_grid();
+  grid[2].inputs.pop_back();  // invalid: |inputs| != n
+  EXPECT_THROW(run_many(grid, {.workers = 4}), std::invalid_argument);
+}
+
+TEST(RunMany, WorkerCountResolution) {
+  EXPECT_EQ(sweep_workers(/*jobs=*/8, /*requested=*/3), 3u);
+  EXPECT_EQ(sweep_workers(/*jobs=*/2, /*requested=*/8), 2u);  // clamp to jobs
+  EXPECT_GE(sweep_workers(/*jobs=*/8, /*requested=*/0), 1u);  // auto
+}
+
+}  // namespace
+}  // namespace apxa::harness

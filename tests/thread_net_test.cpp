@@ -94,5 +94,95 @@ TEST(ThreadNet, ValidatesUsage) {
   EXPECT_THROW(net.run(1s), std::invalid_argument);  // processes missing
 }
 
+TEST(ThreadNet, CrashAfterSendsStopsMidMulticast) {
+  // Simulator-parity semantics: the victim's first k sends go out, the
+  // (k+1)-th is dropped and the party stops receiving.
+  const SystemParams p{5, 1};
+  ThreadNetwork net(p);
+  const Round rounds = 4;
+  for (ProcessId i = 0; i < p.n; ++i) {
+    net.add_process(std::make_unique<core::RoundAaProcess>(
+        core::crash_aa_config(p, static_cast<double>(i), rounds)));
+  }
+  // Victim 4's round-0 multicast reaches only parties {0, 1}: the third
+  // send fires the crash and the fourth finds the party already crashed.
+  // Both happen inside on_start, so the drop count is deterministic even
+  // under OS scheduling (and matches the simulator's accounting exactly).
+  net.set_multicast_order(4, {0, 1, 2, 3});
+  net.crash_after_sends(4, 2);
+  ASSERT_TRUE(net.run(20s));
+  EXPECT_FALSE(net.is_correct(4));
+  const auto outs = net.correct_outputs();
+  ASSERT_EQ(outs.size(), 4u);
+  for (double y : outs) {
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 4.0);
+  }
+  EXPECT_EQ(net.metrics().sent_by[4], 2u);
+  EXPECT_EQ(net.metrics().messages_dropped, 2u);
+}
+
+TEST(ThreadNet, CrashExactlyAtSendBudgetStopsReceiving) {
+  // Simulator parity for the boundary case: a limit that lands exactly on a
+  // send the party makes takes effect immediately — even if the party never
+  // attempts another send, it must stop receiving and be reported crashed.
+  const SystemParams p{5, 1};
+  ThreadNetwork net(p);
+  const Round rounds = 3;
+  for (ProcessId i = 0; i < p.n; ++i) {
+    net.add_process(std::make_unique<core::RoundAaProcess>(
+        core::crash_aa_config(p, static_cast<double>(i), rounds)));
+  }
+  // The budget covers every multicast of the full run: the crash fires on
+  // the last send the party would ever make.
+  net.crash_after_sends(4, static_cast<std::uint64_t>(rounds) * (p.n - 1));
+  ASSERT_TRUE(net.run(20s));
+  EXPECT_FALSE(net.is_correct(4));
+  // Crashed right after its final-round multicast, before receiving the
+  // final-round quorum: it must not produce an output.
+  EXPECT_FALSE(net.has_output(4));
+  EXPECT_EQ(net.correct_outputs().size(), 4u);
+}
+
+TEST(ThreadNet, CrashAfterZeroSendsIsStartupCrash) {
+  const SystemParams p{5, 1};
+  ThreadNetwork net(p);
+  for (ProcessId i = 0; i < p.n; ++i) {
+    net.add_process(std::make_unique<core::RoundAaProcess>(
+        core::crash_aa_config(p, static_cast<double>(i), 3)));
+  }
+  net.crash_after_sends(0, 0);
+  ASSERT_TRUE(net.run(20s));
+  EXPECT_EQ(net.correct_outputs().size(), 4u);
+  // A startup-crashed party never sends.
+  EXPECT_EQ(net.metrics().sent_by[0], 0u);
+}
+
+namespace {
+/// A party that never sends and never outputs (for byzantine bookkeeping).
+class InertProcess final : public net::Process {
+ public:
+  void on_start(net::Context&) override {}
+  void on_message(net::Context&, ProcessId, BytesView) override {}
+};
+}  // namespace
+
+TEST(ThreadNet, ByzantinePartyExcludedFromCompletionWait) {
+  const SystemParams p{4, 1};
+  ThreadNetwork net(p);
+  for (ProcessId i = 0; i + 1 < p.n; ++i) {
+    net.add_process(std::make_unique<core::RoundAaProcess>(
+        core::crash_aa_config(p, static_cast<double>(i), 3)));
+  }
+  net.add_process(std::make_unique<InertProcess>());
+  net.mark_byzantine(3);
+  // Honest parties wait for n - t = 3 values per round (self + two peers),
+  // so they terminate without the silent byzantine party — and run() must
+  // not wait for its (never-appearing) output either.
+  ASSERT_TRUE(net.run(20s));
+  EXPECT_FALSE(net.is_correct(3));
+  EXPECT_EQ(net.correct_outputs().size(), 3u);
+}
+
 }  // namespace
 }  // namespace apxa::rt
