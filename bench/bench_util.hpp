@@ -289,39 +289,62 @@ inline std::vector<std::vector<double>> adversarial_input_families(
   return fams;
 }
 
-/// Worst measured rate over the adversarial input families above.  Runs that
-/// converge instantly on some family are fine as long as one family yields a
-/// measurable rate.  The full family x scheduler x seed grid goes through
-/// run_many as a single parallel sweep; aggregation stays per-family.
-inline MeasuredRate measure_worst_rate_over_inputs(
-    core::RunConfig base, Round horizon, const std::vector<core::SchedKind>& scheds,
-    std::uint32_t seeds) {
-  auto families = adversarial_input_families(base.params, 0.0, 1.0);
+/// Worst measured rates over the adversarial input families above, batched:
+/// every base's (family x scheduler x seed) grid goes through ONE run_many
+/// call, so a driver's whole row set sweeps in parallel.  Runs that converge
+/// instantly on some family are fine as long as one family yields a
+/// measurable rate.  Aggregation stays per base (and per family within it),
+/// so out[b] is identical to measuring bases[b] alone.
+inline std::vector<MeasuredRate> measure_worst_rates_over_inputs(
+    const std::vector<core::RunConfig>& bases, Round horizon,
+    const std::vector<core::SchedKind>& scheds, std::uint32_t seeds) {
+  struct Owner {
+    std::size_t base, family;
+  };
   std::vector<core::RunConfig> grid;
-  std::vector<std::size_t> family_of;  // grid index -> family index
-  for (std::size_t f = 0; f < families.size(); ++f) {
-    core::RunConfig cfg = base;
-    cfg.inputs = families[f];
-    for (auto& g : sweep_grid(std::move(cfg), horizon, scheds, seeds)) {
-      grid.push_back(std::move(g));
-      family_of.push_back(f);
+  std::vector<Owner> owner;  // grid index -> (base, family)
+  std::vector<std::size_t> family_count(bases.size());
+  for (std::size_t b = 0; b < bases.size(); ++b) {
+    auto families = adversarial_input_families(bases[b].params, 0.0, 1.0);
+    family_count[b] = families.size();
+    for (std::size_t f = 0; f < families.size(); ++f) {
+      core::RunConfig cfg = bases[b];
+      cfg.inputs = families[f];
+      for (auto& g : sweep_grid(std::move(cfg), horizon, scheds, seeds)) {
+        grid.push_back(std::move(g));
+        owner.push_back({b, f});
+      }
     }
   }
   const auto reports = harness::run_many(grid);
 
-  MeasuredRate worst;
-  std::vector<std::vector<analysis::RateSummary>> per_family(families.size());
+  std::vector<std::vector<std::vector<analysis::RateSummary>>> per(bases.size());
+  for (std::size_t b = 0; b < bases.size(); ++b) per[b].resize(family_count[b]);
   for (std::size_t i = 0; i < reports.size(); ++i) {
-    per_family[family_of[i]].push_back(
+    per[owner[i].base][owner[i].family].push_back(
         analysis::summarize_rates(reports[i].spread_by_round));
   }
-  for (const auto& summaries : per_family) {
-    const auto w = analysis::worst_of(summaries);
-    const MeasuredRate m{w.sustained, w.per_round_min, w.measurable};
-    if (!m.measurable) continue;
-    if (!worst.measurable || m.sustained_min < worst.sustained_min) worst = m;
+
+  std::vector<MeasuredRate> out(bases.size());
+  for (std::size_t b = 0; b < bases.size(); ++b) {
+    MeasuredRate worst;
+    for (const auto& summaries : per[b]) {
+      const auto w = analysis::worst_of(summaries);
+      const MeasuredRate m{w.sustained, w.per_round_min, w.measurable};
+      if (!m.measurable) continue;
+      if (!worst.measurable || m.sustained_min < worst.sustained_min) worst = m;
+    }
+    out[b] = worst;
   }
-  return worst;
+  return out;
+}
+
+/// Single-config convenience over the batched version.
+inline MeasuredRate measure_worst_rate_over_inputs(
+    core::RunConfig base, Round horizon, const std::vector<core::SchedKind>& scheds,
+    std::uint32_t seeds) {
+  return measure_worst_rates_over_inputs({std::move(base)}, horizon, scheds,
+                                         seeds)[0];
 }
 
 /// Rounds until the observed correct-party spread first drops to <= target,

@@ -3,6 +3,11 @@
 // The Theta(n/t) separation: the crash-model mean rule's factor grows
 // linearly in n/t (both analytically and in measured executions), while the
 // byzantine-tolerant protocols sit near constant factors.
+//
+// Every row's measured sweep (input family x scheduler x seed) is collected
+// into ONE batched run_many call (bench_util's measure_worst_rates_over_inputs),
+// so the whole figure is a single parallel sweep; rows are emitted in input
+// order, identical to the old row-at-a-time loops.
 #include <cstdio>
 
 #include "analysis/worst_case.hpp"
@@ -21,20 +26,25 @@ int main(int argc, char** argv) {
   std::printf("series,n,t,ratio,predicted,analytic,measured\n");
   sink.begin_section("rate_vs_ratio",
                      {"series", "n", "t", "ratio", "predicted", "analytic", "measured"});
-  auto emit = [&sink](const std::string& series, std::uint32_t n, std::uint32_t t,
-                      double ratio, double predicted, const std::string& analytic,
-                      double measured) {
-    std::printf("%s,%u,%u,%.1f,%.3f,%s,%.3f\n", series.c_str(), n, t, ratio,
-                predicted, analytic.c_str(), measured);
-    sink.add_row({series, std::to_string(n), std::to_string(t),
-                  bench::fmt(ratio, 1), bench::fmt(predicted), analytic,
-                  bench::fmt(measured)});
-  };
 
   const std::vector<SchedKind> scheds{SchedKind::kRandom, SchedKind::kGreedySplit,
                                       SchedKind::kClique};
 
-  auto measure = [&](ProtocolKind kind, SystemParams p, Averager avg) {
+  struct Row {
+    std::string series;
+    std::uint32_t n, t;
+    double ratio;
+    double predicted;
+    std::string analytic;
+  };
+  std::vector<Row> rows;
+  std::vector<RunConfig> bases;
+
+  auto queue = [&](std::string series, SystemParams p, double ratio,
+                   double predicted, std::string analytic, ProtocolKind kind,
+                   Averager avg) {
+    rows.push_back({std::move(series), p.n, p.t, ratio, predicted,
+                    std::move(analytic)});
     RunConfig cfg;
     cfg.params = p;
     cfg.protocol = kind;
@@ -48,8 +58,7 @@ int main(int argc, char** argv) {
         cfg.byz.push_back(s);
       }
     }
-    const auto m = bench::measure_worst_rate_over_inputs(cfg, 5, scheds, 4);
-    return m.measurable ? m.sustained_min : 0.0;
+    bases.push_back(std::move(cfg));
   };
 
   // Crash mean: t = 1, 2, 3 with growing n.
@@ -62,10 +71,10 @@ int main(int argc, char** argv) {
       q.averager = Averager::kMean;
       char series[32];
       std::snprintf(series, sizeof(series), "crash-mean(t=%u)", t);
-      emit(series, n, t,
-           static_cast<double>(n) / t, predicted_factor_crash_async_mean(n, t),
-           bench::fmt(analysis::worst_one_round_factor(q).worst_factor),
-           measure(ProtocolKind::kCrashRound, p, Averager::kMean));
+      queue(series, p, static_cast<double>(n) / t,
+            predicted_factor_crash_async_mean(n, t),
+            bench::fmt(analysis::worst_one_round_factor(q).worst_factor),
+            ProtocolKind::kCrashRound, Averager::kMean);
     }
   }
 
@@ -76,10 +85,10 @@ int main(int argc, char** argv) {
     analysis::WorstCaseQuery q;
     q.params = p;
     q.averager = Averager::kMidpoint;
-    emit("crash-midpoint(t=1)", n, 1, static_cast<double>(n),
-         predicted_factor_midpoint(),
-         bench::fmt(analysis::worst_one_round_factor(q).worst_factor),
-         measure(ProtocolKind::kCrashRound, p, Averager::kMidpoint));
+    queue("crash-midpoint(t=1)", p, static_cast<double>(n),
+          predicted_factor_midpoint(),
+          bench::fmt(analysis::worst_one_round_factor(q).worst_factor),
+          ProtocolKind::kCrashRound, Averager::kMidpoint);
   }
 
   // DLPSW async (needs n > 5t): grows slowly past the boundary.
@@ -89,18 +98,29 @@ int main(int argc, char** argv) {
     q.params = p;
     q.averager = Averager::kDlpswAsync;
     q.byz_count = 1;
-    emit("byz-dlpsw(t=1)", n, 1, static_cast<double>(n),
-         predicted_factor_dlpsw_async(n, 1),
-         bench::fmt(analysis::worst_one_round_factor(q).worst_factor),
-         measure(ProtocolKind::kByzRound, p, Averager::kDlpswAsync));
+    queue("byz-dlpsw(t=1)", p, static_cast<double>(n),
+          predicted_factor_dlpsw_async(n, 1),
+          bench::fmt(analysis::worst_one_round_factor(q).worst_factor),
+          ProtocolKind::kByzRound, Averager::kDlpswAsync);
   }
 
   // Witness pins 2.
   for (std::uint32_t n : {4u, 7u, 10u, 16u}) {
     const std::uint32_t t = (n - 1) / 3;
     const SystemParams p{n, t};
-    emit("witness", n, t, static_cast<double>(n) / t, predicted_factor_witness(),
-         "-", measure(ProtocolKind::kWitness, p, Averager::kReduceMidpoint));
+    queue("witness", p, static_cast<double>(n) / t, predicted_factor_witness(),
+          "-", ProtocolKind::kWitness, Averager::kReduceMidpoint);
+  }
+
+  const auto measured = bench::measure_worst_rates_over_inputs(bases, 5, scheds, 4);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double m = measured[i].measurable ? measured[i].sustained_min : 0.0;
+    std::printf("%s,%u,%u,%.1f,%.3f,%s,%.3f\n", r.series.c_str(), r.n, r.t,
+                r.ratio, r.predicted, r.analytic.c_str(), m);
+    sink.add_row({r.series, std::to_string(r.n), std::to_string(r.t),
+                  bench::fmt(r.ratio, 1), bench::fmt(r.predicted), r.analytic,
+                  bench::fmt(m)});
   }
 
   std::printf(

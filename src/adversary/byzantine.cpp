@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/codec.hpp"
+#include "core/multidim.hpp"
 
 namespace apxa::adversary {
 
@@ -65,6 +66,73 @@ void ByzRoundProcess::emit_round(net::Context& ctx, Round r) {
         break;
     }
     ctx.send(to, encode_round(RoundMsg{r, v, budget}));
+  }
+}
+
+ByzVectorProcess::ByzVectorProcess(ByzSpec spec, std::uint32_t dim)
+    : spec_(spec),
+      dim_(dim),
+      rng_(spec.seed),
+      seen_lo_(dim, 0.0),
+      seen_hi_(dim, 0.0) {}
+
+void ByzVectorProcess::on_start(net::Context& ctx) { emit_round(ctx, 0); }
+
+void ByzVectorProcess::on_message(net::Context& ctx, ProcessId from,
+                                  BytesView payload) {
+  (void)from;
+  const auto m = core::decode_vec_round(payload);
+  if (!m || m->second.size() != dim_) return;
+  for (std::uint32_t c = 0; c < dim_; ++c) {
+    if (!seen_any_) {
+      seen_lo_[c] = seen_hi_[c] = m->second[c];
+    } else {
+      seen_lo_[c] = std::min(seen_lo_[c], m->second[c]);
+      seen_hi_[c] = std::max(seen_hi_[c], m->second[c]);
+    }
+  }
+  seen_any_ = true;
+  emit_round(ctx, m->first);
+  emit_round(ctx, m->first + 1);
+}
+
+void ByzVectorProcess::emit_round(net::Context& ctx, Round r) {
+  if (spec_.kind == ByzKind::kSilent) return;
+  if (r >= spec_.max_instances) return;
+  if (!emitted_.insert(r).second) return;
+
+  const auto n = ctx.params().n;
+  std::vector<double> v(dim_, 0.0);
+  for (ProcessId to = 0; to < n; ++to) {
+    if (to == ctx.self()) continue;
+    const bool low_camp = to < n / 2;
+    for (std::uint32_t c = 0; c < dim_; ++c) {
+      switch (spec_.kind) {
+        case ByzKind::kSilent:
+          return;
+        case ByzKind::kExtremeLow:
+          v[c] = spec_.lo;
+          break;
+        case ByzKind::kExtremeHigh:
+          v[c] = spec_.hi;
+          break;
+        case ByzKind::kEquivocate:
+          v[c] = low_camp ? spec_.lo : spec_.hi;
+          break;
+        case ByzKind::kSpoiler: {
+          const double lo = seen_any_ ? seen_lo_[c] : spec_.lo;
+          const double hi = seen_any_ ? seen_hi_[c] : spec_.hi;
+          const double width = std::max(1e-12, hi - lo);
+          v[c] = low_camp ? lo - spec_.amplify * width
+                          : hi + spec_.amplify * width;
+          break;
+        }
+        case ByzKind::kNoise:
+          v[c] = rng_.next_double(spec_.lo, spec_.hi);
+          break;
+      }
+    }
+    ctx.send(to, core::encode_vec_round(r, v));
   }
 }
 

@@ -69,6 +69,30 @@ class ByzRoundProcess final : public net::Process {
   bool seen_any_ = false;
 };
 
+/// Attacker for the vector (R^d) round protocol: the same strategies applied
+/// per coordinate over the vector wire format.  kEquivocate/kSpoiler send the
+/// low corner to the LOW camp and the high corner to the HIGH camp (the
+/// spoiler shoots past the per-coordinate observed extremes); kNoise draws
+/// every coordinate independently.  Coordinate-wise laundering (reduce_t per
+/// column) confines these to BOX validity only — see core/multidim.hpp.
+class ByzVectorProcess final : public net::Process {
+ public:
+  ByzVectorProcess(ByzSpec spec, std::uint32_t dim);
+
+  void on_start(net::Context& ctx) override;
+  void on_message(net::Context& ctx, ProcessId from, BytesView payload) override;
+
+ private:
+  void emit_round(net::Context& ctx, Round r);
+
+  ByzSpec spec_;
+  std::uint32_t dim_;
+  Rng rng_;
+  std::set<Round> emitted_;
+  std::vector<double> seen_lo_, seen_hi_;  // per-coordinate observed extremes
+  bool seen_any_ = false;
+};
+
 /// Attacker for the witness-technique protocol: equivocates RB SENDs (which
 /// Bracha must either resolve consistently or not deliver at all) and stays
 /// silent in other parties' RB instances.  Strategies reuse ByzKind; kSilent

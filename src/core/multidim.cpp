@@ -1,18 +1,10 @@
 #include "core/multidim.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
-#include <set>
 
 #include "common/ensure.hpp"
-#include "core/multiset_ops.hpp"
-#include "net/sim.hpp"
-#include "sched/clique_scheduler.hpp"
-#include "sched/crash_timing_scheduler.hpp"
-#include "sched/fifo_scheduler.hpp"
-#include "sched/greedy_split_scheduler.hpp"
-#include "sched/random_scheduler.hpp"
+#include "geom/geom.hpp"
+#include "harness/harness.hpp"
 
 namespace apxa::core {
 
@@ -89,7 +81,9 @@ void VectorAaProcess::add_remote(ProcessId from, Round r, std::vector<double> v)
 }
 
 void VectorAaProcess::on_start(net::Context& ctx) {
+  self_ = ctx.self();
   if (cfg_.fixed_rounds == 0) {
+    if (cfg_.trace) cfg_.trace(self_, 0, value_);
     done_ = true;
     return;
   }
@@ -98,6 +92,7 @@ void VectorAaProcess::on_start(net::Context& ctx) {
 }
 
 void VectorAaProcess::begin_round(net::Context& ctx) {
+  if (cfg_.trace) cfg_.trace(self_, round_, value_);
   add_own(round_, value_);
   ctx.multicast(encode_vec_round(round_, value_));
 }
@@ -114,18 +109,14 @@ void VectorAaProcess::on_message(net::Context& ctx, ProcessId from,
 void VectorAaProcess::try_advance(net::Context& ctx) {
   while (!done_ && slots_[round_].frozen) {
     const Slot& s = slots_[round_];
-    // Coordinate-wise averaging: column c of the view is a 1-D multiset.
-    std::vector<double> next(cfg_.dim);
-    for (std::uint32_t c = 0; c < cfg_.dim; ++c) {
-      std::vector<double> column;
-      column.reserve(s.values.size());
-      for (const auto& vec : s.values) column.push_back(vec[c]);
-      next[c] = apply_averager(cfg_.averager, std::move(column), cfg_.params.t);
-    }
-    value_ = std::move(next);
+    // Coordinate-wise averaging: column c of the view is a 1-D multiset; the
+    // reduce/select based rules launder byzantine values per coordinate.
+    value_ = geom::average_per_coordinate(cfg_.averager, s.values, cfg_.dim,
+                                          cfg_.params.t);
     ++round_;
     slots_.erase(slots_.begin(), slots_.lower_bound(round_));
     if (round_ >= cfg_.fixed_rounds) {
+      if (cfg_.trace) cfg_.trace(self_, round_, value_);
       done_ = true;
       return;
     }
@@ -133,95 +124,30 @@ void VectorAaProcess::try_advance(net::Context& ctx) {
   }
 }
 
-namespace {
-
-std::unique_ptr<sched::Scheduler> make_sched(const MultiDimConfig& cfg) {
-  switch (cfg.sched) {
-    case SchedKind::kRandom:
-      return std::make_unique<sched::RandomScheduler>(cfg.seed);
-    case SchedKind::kFifo:
-      return std::make_unique<sched::FifoScheduler>();
-    case SchedKind::kGreedySplit: {
-      // Value-aware probe over the first coordinate.
-      auto probe = [](BytesView payload) -> std::optional<sched::ValueProbe> {
-        const auto m = decode_vec_round(payload);
-        if (!m || m->second.empty()) return std::nullopt;
-        return sched::ValueProbe{m->first, m->second[0]};
-      };
-      return std::make_unique<sched::GreedySplitScheduler>(probe, cfg.params.n);
-    }
-    case SchedKind::kTargeted:
-      return std::make_unique<sched::TargetedDelayScheduler>(cfg.seed);
-    case SchedKind::kClique: {
-      std::set<ProcessId> clique;
-      for (ProcessId p = 0; p < cfg.params.quorum(); ++p) clique.insert(p);
-      return std::make_unique<sched::CliqueScheduler>(std::move(clique));
-    }
-  }
-  APXA_ASSERT(false, "unknown scheduler kind");
-}
-
-}  // namespace
-
 MultiDimReport run_multidim(const MultiDimConfig& cfg) {
-  const auto n = cfg.params.n;
-  APXA_ENSURE(cfg.inputs.size() == n, "inputs must have n rows");
-  for (const auto& row : cfg.inputs) {
-    APXA_ENSURE(row.size() == cfg.dim, "every input needs `dim` coordinates");
-  }
-  APXA_ENSURE(cfg.crashes.size() <= cfg.params.t, "too many crashes");
+  harness::VectorRunConfig v;
+  v.params = cfg.params;
+  v.protocol = harness::ProtocolKind::kVectorCrash;
+  v.dim = cfg.dim;
+  v.averager = cfg.averager;
+  v.fixed_rounds = cfg.fixed_rounds;
+  v.epsilon = cfg.epsilon;
+  v.inputs = cfg.inputs;
+  v.sched = cfg.sched;
+  v.seed = cfg.seed;
+  v.crashes = cfg.crashes;
+  v.backend = harness::BackendKind::kSim;
+  const harness::VectorRunReport rep = harness::run(v);
 
-  net::SimNetwork net(cfg.params, make_sched(cfg));
-  for (ProcessId p = 0; p < n; ++p) {
-    VectorAaConfig pc;
-    pc.params = cfg.params;
-    pc.dim = cfg.dim;
-    pc.input = cfg.inputs[p];
-    pc.averager = cfg.averager;
-    pc.fixed_rounds = cfg.fixed_rounds;
-    net.add_process(std::make_unique<VectorAaProcess>(pc));
-  }
-  adversary::apply(net, cfg.crashes);
-  net.start();
-
-  MultiDimReport rep;
-  net.run_until([&net]() { return net.all_correct_output(); });
-  rep.all_output = net.all_correct_output();
-  rep.metrics = net.metrics();
-
-  for (ProcessId p = 0; p < n; ++p) {
-    if (!net.is_correct(p)) continue;
-    const auto& proc = dynamic_cast<const VectorAaProcess&>(net.process(p));
-    if (proc.has_vector_output()) rep.outputs.push_back(proc.vector_output());
-    rep.finish_time = std::max(rep.finish_time, net.output_time(p));
-  }
-
-  // Box validity: every coordinate within the per-coordinate hull of all
-  // (non-byzantine; here: all) inputs.
-  rep.box_validity_ok = true;
-  for (std::uint32_t c = 0; c < cfg.dim; ++c) {
-    double lo = std::numeric_limits<double>::infinity();
-    double hi = -lo;
-    for (const auto& row : cfg.inputs) {
-      lo = std::min(lo, row[c]);
-      hi = std::max(hi, row[c]);
-    }
-    for (const auto& out : rep.outputs) {
-      if (out[c] < lo - 1e-9 || out[c] > hi + 1e-9) rep.box_validity_ok = false;
-    }
-  }
-
-  for (std::size_t i = 0; i < rep.outputs.size(); ++i) {
-    for (std::size_t j = i + 1; j < rep.outputs.size(); ++j) {
-      double linf = 0.0;
-      for (std::uint32_t c = 0; c < cfg.dim; ++c) {
-        linf = std::max(linf, std::abs(rep.outputs[i][c] - rep.outputs[j][c]));
-      }
-      rep.worst_linf_gap = std::max(rep.worst_linf_gap, linf);
-    }
-  }
-  rep.agreement_ok = rep.worst_linf_gap <= cfg.epsilon + 1e-12;
-  return rep;
+  MultiDimReport out;
+  out.all_output = rep.all_output;
+  out.outputs = rep.outputs;
+  out.box_validity_ok = rep.box_validity_ok;
+  out.worst_linf_gap = rep.worst_linf_gap;
+  out.agreement_ok = rep.agreement_ok;
+  out.metrics = rep.metrics;
+  out.finish_time = rep.finish_time;
+  return out;
 }
 
 }  // namespace apxa::core

@@ -2,9 +2,9 @@
 //
 // The natural vector extension of the 1987 round protocol: each round a
 // party multicasts its current vector, waits for n - t round-tagged vectors,
-// and applies the averaging rule *per coordinate*.  One message per round
-// carries all d coordinates, so the message complexity stays Theta(n^2) per
-// round and only the bit complexity scales with d.
+// and applies the averaging rule *per coordinate* (geom::average_per_coordinate).
+// One message per round carries all d coordinates, so the message complexity
+// stays Theta(n^2) per round and only the bit complexity scales with d.
 //
 // Guarantees (crash faults):
 //   box validity     — every correct output lies in the per-coordinate
@@ -21,8 +21,15 @@
 // literature (Mendes-Herlihy STOC'13 / Vaidya-Garg PODC'13: safe areas,
 // Tverberg points).  The crash model has no such gap: box = product of
 // per-coordinate hulls of genuine values.
+//
+// VectorAaProcess runs on any exec::Backend through the harness layer: build
+// a harness::VectorRunConfig (protocol kVectorCrash or kVectorByz) and call
+// harness::run — the simulator and the threaded runtime both execute it, with
+// crash/byzantine fault injection and every scheduler.  run_multidim below is
+// the historical simulator-only entry point, now a facade over that path.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <utility>
@@ -36,15 +43,25 @@
 
 namespace apxa::core {
 
+/// Observation hook for vector rounds: (party, round, vector at round entry).
+/// Round entry 0 reports the input; entry r the value after r averaging
+/// steps.  Under a threaded backend it is invoked concurrently from several
+/// worker threads, so it must be thread-safe.
+using VecTraceFn =
+    std::function<void(ProcessId, Round, const std::vector<double>&)>;
+
 struct VectorAaConfig {
   SystemParams params;
   std::uint32_t dim = 1;
   std::vector<double> input;  ///< size dim
   Averager averager = Averager::kMean;
   Round fixed_rounds = 1;
+  VecTraceFn trace;           ///< optional observation hook
 };
 
 /// Round-based coordinate-wise AA process for R^d (fixed-round termination).
+/// Decides through the vector side of the process interface: output() stays
+/// empty, vector_output()/has_output() carry the decision on every backend.
 class VectorAaProcess final : public net::Process {
  public:
   explicit VectorAaProcess(VectorAaConfig cfg);
@@ -52,13 +69,10 @@ class VectorAaProcess final : public net::Process {
   void on_start(net::Context& ctx) override;
   void on_message(net::Context& ctx, ProcessId from, BytesView payload) override;
 
-  /// Scalar output() stays empty; vector output is exposed separately.
-  [[nodiscard]] std::optional<double> output() const override {
-    return done_ ? std::optional<double>(value_.empty() ? 0.0 : value_[0])
-                 : std::nullopt;
+  [[nodiscard]] bool has_output() const override { return done_; }
+  [[nodiscard]] std::optional<std::vector<double>> vector_output() const override {
+    return done_ ? std::optional<std::vector<double>>(value_) : std::nullopt;
   }
-  [[nodiscard]] bool has_vector_output() const { return done_; }
-  [[nodiscard]] const std::vector<double>& vector_output() const { return value_; }
   [[nodiscard]] Round current_round() const { return round_; }
 
  private:
@@ -81,6 +95,7 @@ class VectorAaProcess final : public net::Process {
   std::vector<double> value_;
   Round round_ = 0;
   bool done_ = false;
+  ProcessId self_ = kNoProcess;
 };
 
 /// Wire format for vector rounds (tag 7): [round][dim][f64 x dim][budget=0].
@@ -88,7 +103,11 @@ Bytes encode_vec_round(Round r, const std::vector<double>& v);
 std::optional<std::pair<Round, std::vector<double>>> decode_vec_round(
     BytesView payload);
 
-// --- experiment driver ------------------------------------------------------
+// --- historical experiment driver -------------------------------------------
+//
+// Simulator-only crash-model driver predating the harness vector layer; kept
+// as a thin facade over harness::run(VectorRunConfig) so existing tests and
+// examples compile unchanged.  New code should build a VectorRunConfig.
 
 struct MultiDimConfig {
   SystemParams params;

@@ -154,4 +154,57 @@ SyncResult run_sync(const SyncConfig& cfg) {
   return res;
 }
 
+SyncVectorResult run_sync_vector(const SyncVectorConfig& cfg) {
+  const auto n = cfg.params.n;
+  APXA_ENSURE(cfg.dim >= 1, "dimension must be positive");
+  APXA_ENSURE(cfg.inputs.size() == n, "inputs must have n rows");
+  for (const auto& row : cfg.inputs) {
+    APXA_ENSURE(row.size() == cfg.dim, "every input needs `dim` coordinates");
+  }
+
+  // One scalar lock-step run per coordinate; the fault pattern — and hence
+  // the set of surviving parties and the message schedule — is identical in
+  // every one, so the runs recombine into a single vector execution whose
+  // messages each carry all d coordinates.
+  SyncVectorResult res;
+  std::vector<SyncResult> per_coord;
+  per_coord.reserve(cfg.dim);
+  for (std::uint32_t c = 0; c < cfg.dim; ++c) {
+    SyncConfig sc;
+    sc.params = cfg.params;
+    sc.inputs = geom::coordinate(cfg.inputs, c);
+    sc.averager = cfg.averager;
+    sc.rounds = cfg.rounds;
+    sc.crashes = cfg.crashes;
+    per_coord.push_back(run_sync(sc));
+  }
+  res.messages = per_coord.front().messages;
+
+  res.linf_spread_by_round.assign(per_coord.front().spread_by_round.size(), 0.0);
+  for (const auto& coord : per_coord) {
+    for (std::size_t r = 0; r < coord.spread_by_round.size(); ++r) {
+      res.linf_spread_by_round[r] =
+          std::max(res.linf_spread_by_round[r], coord.spread_by_round[r]);
+    }
+  }
+
+  res.final_values.assign(n, std::nullopt);
+  std::vector<std::vector<double>> finals;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (!per_coord.front().final_values[p].has_value()) continue;
+    std::vector<double> v(cfg.dim);
+    for (std::uint32_t c = 0; c < cfg.dim; ++c) v[c] = *per_coord[c].final_values[p];
+    finals.push_back(v);
+    res.final_values[p] = std::move(v);
+  }
+
+  res.input_box = geom::box_hull(cfg.inputs);
+  res.box_validity_ok =
+      std::all_of(finals.begin(), finals.end(), [&res](const auto& v) {
+        return res.input_box.contains(v);
+      });
+  res.final_linf_gap = geom::linf_spread(finals);
+  return res;
+}
+
 }  // namespace apxa::core

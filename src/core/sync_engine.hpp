@@ -23,6 +23,7 @@
 #include "adversary/byzantine.hpp"
 #include "common/ids.hpp"
 #include "core/multiset_ops.hpp"
+#include "geom/geom.hpp"
 
 namespace apxa::core {
 
@@ -52,5 +53,37 @@ struct SyncResult {
 };
 
 SyncResult run_sync(const SyncConfig& cfg);
+
+// --- vector (R^d) baseline --------------------------------------------------
+// Lock-step coordinate-wise AA: one vector message per exchange, the round
+// rule applied per column.  In synchrony every coordinate is an independent
+// 1-D instance with the identical fault pattern, so the engine literally runs
+// the scalar engine per coordinate and recombines with the geom primitives —
+// the same box-hull/L-infinity machinery the asynchronous harness uses.
+// Crash faults only: the scalar byzantine strategies have no canonical
+// per-coordinate reading in lock-step rounds (the asynchronous path covers
+// byzantine vectors via adversary::ByzVectorProcess).
+
+struct SyncVectorConfig {
+  SystemParams params;
+  std::uint32_t dim = 2;
+  std::vector<std::vector<double>> inputs;  ///< n rows of dim columns
+  Averager averager = Averager::kMean;
+  Round rounds = 1;
+  std::vector<SyncCrash> crashes;
+};
+
+struct SyncVectorResult {
+  /// Correct-party L-infinity spread after each round; [0] is the inputs.
+  std::vector<double> linf_spread_by_round;
+  std::uint64_t messages = 0;  ///< vector messages (one per exchange)
+  /// Final vectors, indexed by party; nullopt for faulty parties.
+  std::vector<std::optional<std::vector<double>>> final_values;
+  geom::Box input_box;         ///< bounding box of the correct inputs
+  bool box_validity_ok = false;
+  double final_linf_gap = 0.0;
+};
+
+SyncVectorResult run_sync_vector(const SyncVectorConfig& cfg);
 
 }  // namespace apxa::core

@@ -55,8 +55,12 @@ struct ExecResult {
   /// True when every correct party has produced an output (note: under a
   /// live-horizon DonePredicate a run can complete without any outputs).
   bool all_correct_output = false;
-  /// Outputs of the parties correct at the end of the run, in id order.
+  /// Scalar outputs of the parties correct at the end of the run, in id
+  /// order.  Vector-valued protocols leave this empty (see vector_outputs).
   std::vector<double> outputs;
+  /// Vector outputs of the correct parties that decided, in id order; scalar
+  /// protocols appear as 1-vectors (net::Process::vector_output adapts).
+  std::vector<std::vector<double>> vector_outputs;
   /// Per-party time at which the output appeared: virtual time in Delta
   /// units on the simulator, wall-clock seconds since run() on the threaded
   /// backend; +inf where no output.  Size n.

@@ -31,7 +31,7 @@ ExecResult SimBackend::run(const ExecOptions& opts) {
     for (ProcessId p = 0; p < n; ++p) {
       if (!net_.is_correct(p)) continue;
       const net::Process& proc = net_.process(p);
-      const bool done = opts.done ? opts.done(proc) : proc.output().has_value();
+      const bool done = opts.done ? opts.done(proc) : proc.has_output();
       if (!done) return false;
     }
     return true;
@@ -41,6 +41,7 @@ ExecResult SimBackend::run(const ExecOptions& opts) {
   res.status = net_.run_until(all_correct_done, opts.max_deliveries);
   res.all_correct_output = net_.all_correct_output();
   res.outputs = net_.correct_outputs();
+  res.vector_outputs = net_.correct_vector_outputs();
   res.metrics = net_.metrics();
   res.correct.resize(n);
   res.output_times.resize(n);

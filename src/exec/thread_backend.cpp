@@ -28,6 +28,7 @@ ExecResult ThreadBackend::run(const ExecOptions& opts) {
                          : net::RunStatus::kTimedOut;
   res.all_correct_output = net_.all_correct_output();
   res.outputs = net_.correct_outputs();
+  res.vector_outputs = net_.correct_vector_outputs();
   res.metrics = net_.metrics();
   res.correct.resize(n);
   res.output_times.resize(n);

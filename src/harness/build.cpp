@@ -17,6 +17,9 @@ namespace apxa::harness {
 
 void validate(const RunConfig& cfg) {
   const auto n = cfg.params.n;
+  APXA_ENSURE(cfg.protocol != ProtocolKind::kVectorCrash &&
+                  cfg.protocol != ProtocolKind::kVectorByz,
+              "vector protocols take a VectorRunConfig");
   APXA_ENSURE(cfg.inputs.size() == n, "inputs must have size n");
   APXA_ENSURE(cfg.allow_excess_faults ||
                   cfg.crashes.size() + cfg.byz.size() <= cfg.params.t,
@@ -37,24 +40,38 @@ std::set<ProcessId> byzantine_ids(const RunConfig& cfg) {
   return ids;
 }
 
-std::unique_ptr<sched::Scheduler> make_scheduler(const RunConfig& cfg) {
-  switch (cfg.sched) {
+namespace {
+
+// Shared by the scalar and vector config overloads: everything except the
+// value probe the greedy-split scheduler snoops payloads with is identical.
+std::unique_ptr<sched::Scheduler> make_scheduler_impl(SchedKind kind,
+                                                      std::uint64_t seed,
+                                                      SystemParams params,
+                                                      sched::ProbeFn probe) {
+  switch (kind) {
     case SchedKind::kRandom:
-      return std::make_unique<sched::RandomScheduler>(cfg.seed);
+      return std::make_unique<sched::RandomScheduler>(seed);
     case SchedKind::kFifo:
       return std::make_unique<sched::FifoScheduler>();
     case SchedKind::kGreedySplit:
-      return std::make_unique<sched::GreedySplitScheduler>(core::round_probe(),
-                                                           cfg.params.n);
+      return std::make_unique<sched::GreedySplitScheduler>(std::move(probe),
+                                                           params.n);
     case SchedKind::kTargeted:
-      return std::make_unique<sched::TargetedDelayScheduler>(cfg.seed);
+      return std::make_unique<sched::TargetedDelayScheduler>(seed);
     case SchedKind::kClique: {
       std::set<ProcessId> clique;
-      for (ProcessId p = 0; p < cfg.params.quorum(); ++p) clique.insert(p);
+      for (ProcessId p = 0; p < params.quorum(); ++p) clique.insert(p);
       return std::make_unique<sched::CliqueScheduler>(std::move(clique));
     }
   }
   APXA_ASSERT(false, "unknown scheduler kind");
+}
+
+}  // namespace
+
+std::unique_ptr<sched::Scheduler> make_scheduler(const RunConfig& cfg) {
+  return make_scheduler_impl(cfg.sched, cfg.seed, cfg.params,
+                             core::round_probe());
 }
 
 std::vector<std::unique_ptr<net::Process>> build_processes(
@@ -101,12 +118,93 @@ std::vector<std::unique_ptr<net::Process>> build_processes(
         procs.push_back(std::make_unique<witness::WitnessAaProcess>(wc));
         break;
       }
+      case ProtocolKind::kVectorCrash:
+      case ProtocolKind::kVectorByz:
+        APXA_ENSURE(false, "vector protocols take a VectorRunConfig");
     }
   }
   return procs;
 }
 
 void stage(const RunConfig& cfg, const core::TraceFn& trace,
+           exec::Backend& backend) {
+  validate(cfg);
+  for (auto& proc : build_processes(cfg, trace)) {
+    backend.add_process(std::move(proc));
+  }
+  for (ProcessId b : byzantine_ids(cfg)) backend.mark_byzantine(b);
+  adversary::install(backend, cfg.crashes);
+}
+
+void validate(const VectorRunConfig& cfg) {
+  const auto n = cfg.params.n;
+  APXA_ENSURE(cfg.protocol == ProtocolKind::kVectorCrash ||
+                  cfg.protocol == ProtocolKind::kVectorByz,
+              "VectorRunConfig takes a vector protocol kind");
+  APXA_ENSURE(cfg.dim >= 1, "dimension must be positive");
+  APXA_ENSURE(cfg.inputs.size() == n, "inputs must have n rows");
+  for (const auto& row : cfg.inputs) {
+    APXA_ENSURE(row.size() == cfg.dim, "every input needs `dim` coordinates");
+  }
+  APXA_ENSURE(cfg.crashes.size() + cfg.byz.size() <= cfg.params.t,
+              "cannot exceed the fault budget t");
+  std::set<ProcessId> byz;
+  for (const auto& b : cfg.byz) {
+    APXA_ENSURE(b.who < n, "byzantine id out of range");
+    APXA_ENSURE(byz.insert(b.who).second, "duplicate byzantine id");
+  }
+  for (const auto& c : cfg.crashes) {
+    APXA_ENSURE(!byz.contains(c.who), "party cannot be both byz and crashed");
+  }
+}
+
+std::set<ProcessId> byzantine_ids(const VectorRunConfig& cfg) {
+  std::set<ProcessId> ids;
+  for (const auto& b : cfg.byz) ids.insert(b.who);
+  return ids;
+}
+
+std::unique_ptr<sched::Scheduler> make_scheduler(const VectorRunConfig& cfg) {
+  // Value-aware probe over the first coordinate of vector rounds.
+  auto probe = [](BytesView payload) -> std::optional<sched::ValueProbe> {
+    const auto m = core::decode_vec_round(payload);
+    if (!m || m->second.empty()) return std::nullopt;
+    return sched::ValueProbe{m->first, m->second[0]};
+  };
+  return make_scheduler_impl(cfg.sched, cfg.seed, cfg.params, std::move(probe));
+}
+
+std::vector<std::unique_ptr<net::Process>> build_processes(
+    const VectorRunConfig& cfg, const core::VecTraceFn& trace) {
+  const auto n = cfg.params.n;
+  const auto byz = byzantine_ids(cfg);
+  std::vector<std::unique_ptr<net::Process>> procs;
+  procs.reserve(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    if (byz.contains(p)) {
+      const auto it = std::find_if(cfg.byz.begin(), cfg.byz.end(),
+                                   [p](const auto& b) { return b.who == p; });
+      procs.push_back(std::make_unique<adversary::ByzVectorProcess>(*it, cfg.dim));
+      continue;
+    }
+    core::VectorAaConfig pc;
+    pc.params = cfg.params;
+    pc.dim = cfg.dim;
+    pc.input = cfg.inputs[p];
+    // kVectorByz launders per coordinate with the byzantine-safe DLPSW rule,
+    // mirroring the scalar kByzRound path (box validity only — see the
+    // module caveats in core/multidim.hpp).
+    pc.averager = cfg.protocol == ProtocolKind::kVectorByz
+                      ? core::Averager::kDlpswAsync
+                      : cfg.averager;
+    pc.fixed_rounds = cfg.fixed_rounds;
+    pc.trace = trace;
+    procs.push_back(std::make_unique<core::VectorAaProcess>(pc));
+  }
+  return procs;
+}
+
+void stage(const VectorRunConfig& cfg, const core::VecTraceFn& trace,
            exec::Backend& backend) {
   validate(cfg);
   for (auto& proc : build_processes(cfg, trace)) {

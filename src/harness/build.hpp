@@ -11,6 +11,7 @@
 #include <set>
 #include <vector>
 
+#include "core/multidim.hpp"
 #include "exec/backend.hpp"
 #include "harness/scenario.hpp"
 #include "sched/scheduler.hpp"
@@ -40,5 +41,19 @@ void stage(const RunConfig& cfg, const core::TraceFn& trace, exec::Backend& back
 /// The completion probe for the config's termination mode: "has output" for
 /// outputting modes, "reached the round/iteration horizon" for kLive.
 exec::DonePredicate make_done_predicate(const RunConfig& cfg);
+
+// --- vector scenarios (VectorRunConfig) -------------------------------------
+// Overloads of the staging pipeline for vector-valued runs; identical
+// contract, with the trace observing per-round vectors.  Vector protocols
+// decide through the process interface's vector side, so the default "has
+// output" completion probe covers them and no done-predicate variant exists.
+
+void validate(const VectorRunConfig& cfg);
+std::set<ProcessId> byzantine_ids(const VectorRunConfig& cfg);
+std::unique_ptr<sched::Scheduler> make_scheduler(const VectorRunConfig& cfg);
+std::vector<std::unique_ptr<net::Process>> build_processes(
+    const VectorRunConfig& cfg, const core::VecTraceFn& trace);
+void stage(const VectorRunConfig& cfg, const core::VecTraceFn& trace,
+           exec::Backend& backend);
 
 }  // namespace apxa::harness

@@ -10,6 +10,7 @@
 #include "core/bounds.hpp"
 #include "exec/sim_backend.hpp"
 #include "exec/thread_backend.hpp"
+#include "geom/geom.hpp"
 #include "harness/build.hpp"
 
 namespace apxa::harness {
@@ -95,6 +96,85 @@ RunReport execute(const RunConfig& cfg, exec::Backend& backend) {
 }
 
 RunReport run(const RunConfig& cfg) {
+  const auto backend = make_backend(cfg);
+  return execute(cfg, *backend);
+}
+
+std::unique_ptr<exec::Backend> make_backend(const VectorRunConfig& cfg) {
+  switch (cfg.backend) {
+    case BackendKind::kSim:
+      return std::make_unique<exec::SimBackend>(cfg.params, make_scheduler(cfg));
+    case BackendKind::kThread:
+      return std::make_unique<exec::ThreadBackend>(cfg.params);
+  }
+  APXA_ASSERT(false, "unknown backend kind");
+}
+
+VectorRunReport execute(const VectorRunConfig& cfg, exec::Backend& backend) {
+  const auto n = cfg.params.n;
+
+  // Per-round vectors at round entry, per party; same concurrency contract
+  // as the scalar trace (worker threads of the threaded backend invoke the
+  // hook concurrently).
+  std::map<Round, std::map<ProcessId, std::vector<double>>> trace;
+  std::mutex trace_mu;
+  core::VecTraceFn trace_fn = [&trace, &trace_mu](ProcessId p, Round r,
+                                                  const std::vector<double>& v) {
+    std::scoped_lock lock(trace_mu);
+    trace[r][p] = v;
+  };
+
+  stage(cfg, trace_fn, backend);
+
+  exec::ExecOptions opts;
+  opts.max_deliveries = cfg.max_deliveries;
+  opts.timeout = cfg.thread_timeout;
+  const exec::ExecResult res = backend.run(opts);
+
+  VectorRunReport rep;
+  rep.status = res.status;
+  rep.all_output = res.all_correct_output;
+  rep.outputs = res.vector_outputs;
+  rep.metrics = res.metrics;
+
+  // Box validity: the bounding box of every non-byzantine party's input
+  // (crash faults do not lie, so crashed parties' genuine inputs
+  // legitimately bound outputs).  Byzantine laundering gives the box, not
+  // the convex hull — see geom/geom.hpp.
+  const auto byz = byzantine_ids(cfg);
+  std::vector<std::vector<double>> honest_inputs;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (!byz.contains(p)) honest_inputs.push_back(cfg.inputs[p]);
+  }
+  const geom::Box box = geom::box_hull(honest_inputs);
+  rep.box_validity_ok =
+      std::all_of(rep.outputs.begin(), rep.outputs.end(),
+                  [&box](const std::vector<double>& y) { return box.contains(y); });
+
+  rep.worst_linf_gap = geom::linf_spread(rep.outputs);
+  rep.worst_l2_gap = geom::l2_spread(rep.outputs);
+  rep.agreement_ok = rep.worst_linf_gap <= cfg.epsilon + 1e-12;
+
+  for (ProcessId p = 0; p < n; ++p) {
+    if (res.correct[p]) {
+      rep.finish_time = std::max(rep.finish_time, res.output_times[p]);
+    }
+  }
+
+  // Per-round L-infinity spreads over parties that stayed correct.
+  for (const auto& [round, entries] : trace) {
+    std::vector<std::vector<double>> vals;
+    for (const auto& [p, v] : entries) {
+      if (res.correct[p]) vals.push_back(v);
+    }
+    if (vals.empty()) continue;
+    rep.linf_spread_by_round.push_back(geom::linf_spread(vals));
+    rep.max_round_reached = std::max(rep.max_round_reached, round);
+  }
+  return rep;
+}
+
+VectorRunReport run(const VectorRunConfig& cfg) {
   const auto backend = make_backend(cfg);
   return execute(cfg, *backend);
 }

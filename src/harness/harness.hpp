@@ -39,4 +39,13 @@ RunReport run_async(const RunConfig& cfg);
 /// Run on the threaded runtime regardless of cfg.backend.
 RunReport run_threaded(const RunConfig& cfg);
 
+// --- vector scenarios -------------------------------------------------------
+// The same entry points for vector-valued (R^d) runs: box-validity and
+// L-infinity eps-agreement verdicts, per-round L-infinity spread traces,
+// identical on every backend.
+
+std::unique_ptr<exec::Backend> make_backend(const VectorRunConfig& cfg);
+VectorRunReport execute(const VectorRunConfig& cfg, exec::Backend& backend);
+VectorRunReport run(const VectorRunConfig& cfg);
+
 }  // namespace apxa::harness

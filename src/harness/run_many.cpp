@@ -22,9 +22,14 @@ unsigned sweep_workers(std::size_t jobs, unsigned requested) {
   return w;
 }
 
-std::vector<RunReport> run_many(const std::vector<RunConfig>& cfgs,
-                                SweepOptions opts) {
-  std::vector<RunReport> reports(cfgs.size());
+namespace {
+
+// One pool implementation for every (config, report) pair; run() resolves by
+// overload, so scalar and vector sweeps share scheduling and error handling.
+template <class Config, class Report>
+std::vector<Report> run_many_impl(const std::vector<Config>& cfgs,
+                                  SweepOptions opts) {
+  std::vector<Report> reports(cfgs.size());
   if (cfgs.empty()) return reports;
 
   const unsigned workers = sweep_workers(cfgs.size(), opts.workers);
@@ -57,6 +62,18 @@ std::vector<RunReport> run_many(const std::vector<RunConfig>& cfgs,
     if (e) std::rethrow_exception(e);
   }
   return reports;
+}
+
+}  // namespace
+
+std::vector<RunReport> run_many(const std::vector<RunConfig>& cfgs,
+                                SweepOptions opts) {
+  return run_many_impl<RunConfig, RunReport>(cfgs, opts);
+}
+
+std::vector<VectorRunReport> run_many(const std::vector<VectorRunConfig>& cfgs,
+                                      SweepOptions opts) {
+  return run_many_impl<VectorRunConfig, VectorRunReport>(cfgs, opts);
 }
 
 }  // namespace apxa::harness

@@ -37,4 +37,8 @@ unsigned sweep_workers(std::size_t jobs, unsigned requested);
 std::vector<RunReport> run_many(const std::vector<RunConfig>& cfgs,
                                 SweepOptions opts = {});
 
+/// Vector-scenario sweeps: identical contract and pool for VectorRunConfig.
+std::vector<VectorRunReport> run_many(const std::vector<VectorRunConfig>& cfgs,
+                                      SweepOptions opts = {});
+
 }  // namespace apxa::harness

@@ -27,4 +27,26 @@ std::vector<double> random_inputs(Rng& rng, std::uint32_t n, double lo, double h
   return v;
 }
 
+std::vector<std::vector<double>> random_vector_inputs(Rng& rng, std::uint32_t n,
+                                                      std::uint32_t dim, double lo,
+                                                      double hi) {
+  std::vector<std::vector<double>> rows(n, std::vector<double>(dim));
+  for (auto& row : rows) {
+    for (auto& x : row) x = rng.next_double(lo, hi);
+  }
+  return rows;
+}
+
+std::vector<std::vector<double>> corner_split_inputs(std::uint32_t n,
+                                                     std::uint32_t dim,
+                                                     std::uint32_t count_hi,
+                                                     double lo, double hi) {
+  APXA_ENSURE(count_hi <= n, "count_hi must be at most n");
+  std::vector<std::vector<double>> rows(n, std::vector<double>(dim, lo));
+  for (std::uint32_t i = 0; i < count_hi; ++i) {
+    rows[n - 1 - i].assign(dim, hi);
+  }
+  return rows;
+}
+
 }  // namespace apxa::harness

@@ -28,9 +28,11 @@
 namespace apxa::harness {
 
 enum class ProtocolKind : std::uint8_t {
-  kCrashRound,  ///< Fekete-style round-based (crash model)
-  kByzRound,    ///< DLPSW asynchronous byzantine (t < n/5)
-  kWitness,     ///< AAD'04 witness technique (t < n/3)
+  kCrashRound,   ///< Fekete-style round-based (crash model)
+  kByzRound,     ///< DLPSW asynchronous byzantine (t < n/5)
+  kWitness,      ///< AAD'04 witness technique (t < n/3)
+  kVectorCrash,  ///< coordinate-wise R^d rounds (crash model) — VectorRunConfig
+  kVectorByz,    ///< coordinate-wise R^d laundering (box validity only) — VectorRunConfig
 };
 
 enum class SchedKind : std::uint8_t {
@@ -86,6 +88,53 @@ struct RunReport {
   std::vector<double> round_factors;
 };
 
+// --- vector-valued (R^d) scenarios ------------------------------------------
+//
+// The coordinate-wise extension of the round protocol as a first-class
+// scenario: same schedulers, adversaries and backends as the scalar path,
+// with verdicts stated in the geometry the literature uses — BOX validity
+// (the bounding box of the non-byzantine inputs) and L-infinity
+// eps-agreement.  kVectorByz launders per coordinate (reduce-based rule), so
+// its validity guarantee is the box, NOT the convex hull, of the honest
+// inputs; see the caveat in core/multidim.hpp and geom/geom.hpp.
+
+struct VectorRunConfig {
+  SystemParams params;
+  ProtocolKind protocol = ProtocolKind::kVectorCrash;  ///< kVectorCrash / kVectorByz
+  std::uint32_t dim = 2;
+  /// Per-coordinate averaging rule.  kVectorByz overrides this with the
+  /// byzantine-safe DLPSW rule, mirroring the scalar kByzRound path.
+  core::Averager averager = core::Averager::kMean;
+  Round fixed_rounds = 1;
+  double epsilon = 1e-3;                    ///< L-infinity agreement target
+  std::vector<std::vector<double>> inputs;  ///< n rows of dim columns
+  SchedKind sched = SchedKind::kRandom;
+  std::uint64_t seed = 1;
+  std::vector<adversary::CrashSpec> crashes;
+  std::vector<adversary::ByzSpec> byz;
+  std::uint64_t max_deliveries = 50'000'000;
+  /// Which transport executes the scenario (run() dispatches on this; the
+  /// scheduler/seed fields only affect the simulator).
+  BackendKind backend = BackendKind::kSim;
+  /// Wall-clock cap for the threaded backend (ignored by the simulator).
+  std::chrono::milliseconds thread_timeout{20'000};
+};
+
+struct VectorRunReport {
+  net::RunStatus status = net::RunStatus::kQueueDrained;
+  bool all_output = false;
+  std::vector<std::vector<double>> outputs;  ///< correct parties' vectors
+  bool box_validity_ok = false;   ///< outputs inside the honest-input box
+  double worst_linf_gap = 0.0;    ///< worst pairwise L-infinity distance
+  double worst_l2_gap = 0.0;      ///< worst pairwise L2 distance (<= sqrt(d) * linf)
+  bool agreement_ok = false;      ///< worst_linf_gap <= eps
+  double finish_time = 0.0;       ///< max output time (Delta units on sim)
+  net::Metrics metrics;
+  /// Correct-party L-infinity spread at each round entry.
+  std::vector<double> linf_spread_by_round;
+  Round max_round_reached = 0;
+};
+
 /// Convenience: evenly spaced inputs over [lo, hi].
 std::vector<double> linear_inputs(std::uint32_t n, double lo, double hi);
 
@@ -96,5 +145,18 @@ std::vector<double> split_inputs(std::uint32_t n, std::uint32_t count_hi, double
 
 /// Convenience: uniform random inputs in [lo, hi].
 std::vector<double> random_inputs(Rng& rng, std::uint32_t n, double lo, double hi);
+
+/// Convenience: n points drawn uniformly from the box [lo, hi]^dim.
+std::vector<std::vector<double>> random_vector_inputs(Rng& rng, std::uint32_t n,
+                                                      std::uint32_t dim, double lo,
+                                                      double hi);
+
+/// Convenience: count_hi parties at the hi corner of [lo, hi]^dim, the rest
+/// at the lo corner — the vector analogue of split_inputs (every coordinate
+/// is simultaneously at its 1-D worst case).
+std::vector<std::vector<double>> corner_split_inputs(std::uint32_t n,
+                                                     std::uint32_t dim,
+                                                     std::uint32_t count_hi,
+                                                     double lo, double hi);
 
 }  // namespace apxa::harness

@@ -159,7 +159,7 @@ void SimNetwork::apply_timed_crashes(double up_to) {
 
 void SimNetwork::note_outputs() {
   for (ProcessId p = 0; p < params_.n; ++p) {
-    if (output_time_[p] == kInf && procs_[p]->output().has_value()) {
+    if (output_time_[p] == kInf && procs_[p]->has_output()) {
       output_time_[p] = now_;
     }
   }
@@ -197,7 +197,7 @@ RunStatus SimNetwork::run(std::uint64_t max_deliveries) {
 
 bool SimNetwork::all_correct_output() const {
   for (ProcessId p = 0; p < params_.n; ++p) {
-    if (status_[p] == PartyStatus::kCorrect && !procs_[p]->output().has_value()) {
+    if (status_[p] == PartyStatus::kCorrect && !procs_[p]->has_output()) {
       return false;
     }
   }
@@ -224,6 +224,15 @@ std::vector<double> SimNetwork::correct_outputs() const {
   for (ProcessId p = 0; p < params_.n; ++p) {
     if (status_[p] != PartyStatus::kCorrect) continue;
     if (const auto y = procs_[p]->output()) out.push_back(*y);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> SimNetwork::correct_vector_outputs() const {
+  std::vector<std::vector<double>> out;
+  for (ProcessId p = 0; p < params_.n; ++p) {
+    if (status_[p] != PartyStatus::kCorrect) continue;
+    if (auto y = procs_[p]->vector_output()) out.push_back(std::move(*y));
   }
   return out;
 }

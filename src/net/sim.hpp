@@ -96,6 +96,10 @@ class SimNetwork final {
   /// Outputs of all currently-correct parties (in id order) that have output.
   [[nodiscard]] std::vector<double> correct_outputs() const;
 
+  /// Vector outputs of all currently-correct parties (in id order) that have
+  /// decided; scalar protocols appear as 1-vectors (net::Process adapts).
+  [[nodiscard]] std::vector<std::vector<double>> correct_vector_outputs() const;
+
   /// Virtual time at which party p produced its output (checked after each
   /// delivery); infinity if it has not output.
   [[nodiscard]] double output_time(ProcessId p) const;

@@ -50,7 +50,9 @@ ThreadNetwork::ThreadNetwork(SystemParams params)
       send_limit_(params.n, kNoLimit),
       multicast_order_(params.n),
       has_output_(params.n),
+      has_scalar_(params.n),
       output_value_(params.n),
+      output_vec_(params.n),
       output_time_(params.n),
       done_(params.n) {
   APXA_ENSURE(params_.n >= 1 && params_.t < params_.n, "bad system params");
@@ -60,6 +62,7 @@ ThreadNetwork::ThreadNetwork(SystemParams params)
     crashed_[i] = false;
     sends_made_[i] = 0;
     has_output_[i] = false;
+    has_scalar_[i] = false;
     output_value_[i] = 0.0;
     output_time_[i] = kInf;
     done_[i] = false;
@@ -162,10 +165,16 @@ void ThreadNetwork::deliver_loop(ProcessId p, std::stop_token st) {
   ContextImpl ctx(*this, p);
   auto publish = [this, p] {
     if (!has_output_[p].load(std::memory_order_acquire)) {
-      if (const auto y = procs_[p]->output()) {
+      if (procs_[p]->has_output()) {
         const std::chrono::duration<double> since =
             std::chrono::steady_clock::now() - start_time_;
-        output_value_[p].store(*y, std::memory_order_release);
+        if (auto vy = procs_[p]->vector_output()) {
+          output_vec_[p] = std::move(*vy);
+        }
+        if (const auto y = procs_[p]->output()) {
+          output_value_[p].store(*y, std::memory_order_relaxed);
+          has_scalar_[p].store(true, std::memory_order_relaxed);
+        }
         output_time_[p].store(since.count(), std::memory_order_release);
         has_output_[p].store(true, std::memory_order_release);
       }
@@ -247,8 +256,20 @@ std::vector<double> ThreadNetwork::correct_outputs() const {
   std::vector<double> out;
   for (ProcessId p = 0; p < params_.n; ++p) {
     if (!is_correct(p)) continue;
+    if (has_output_[p].load(std::memory_order_acquire) &&
+        has_scalar_[p].load(std::memory_order_relaxed)) {
+      out.push_back(output_value_[p].load(std::memory_order_relaxed));
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> ThreadNetwork::correct_vector_outputs() const {
+  std::vector<std::vector<double>> out;
+  for (ProcessId p = 0; p < params_.n; ++p) {
+    if (!is_correct(p)) continue;
     if (has_output_[p].load(std::memory_order_acquire)) {
-      out.push_back(output_value_[p].load(std::memory_order_acquire));
+      out.push_back(output_vec_[p]);
     }
   }
   return out;

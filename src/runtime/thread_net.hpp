@@ -83,6 +83,9 @@ class ThreadNetwork final {
 
   /// Outputs of the correct parties (in id order) that have output.
   [[nodiscard]] std::vector<double> correct_outputs() const;
+  /// Vector outputs of the correct parties (in id order) that have decided;
+  /// scalar protocols appear as 1-vectors (net::Process adapts).
+  [[nodiscard]] std::vector<std::vector<double>> correct_vector_outputs() const;
   [[nodiscard]] const net::Metrics& metrics() const { return metrics_; }
   [[nodiscard]] SystemParams params() const { return params_; }
 
@@ -118,8 +121,13 @@ class ThreadNetwork final {
   std::vector<std::vector<ProcessId>> multicast_order_;
   // Output/completion mirrors: each worker thread publishes its process's
   // state here so the coordinator can poll without racing on Process state.
+  // output_vec_[p] and has_scalar_[p] are written once by p's worker before
+  // the has_output_[p] release-store and never mutated afterwards, so readers
+  // that acquire-load the flag need no further synchronization.
   std::vector<std::atomic<bool>> has_output_;
+  std::vector<std::atomic<bool>> has_scalar_;
   std::vector<std::atomic<double>> output_value_;
+  std::vector<std::vector<double>> output_vec_;
   std::vector<std::atomic<double>> output_time_;   // seconds; +inf if none
   std::vector<std::atomic<bool>> done_;
   DonePredicate done_pred_;                        // set before run()

@@ -29,6 +29,9 @@ Round budget_for(const Case& c, double M, double eps) {
     case ProtocolKind::kWitness:
       return std::max<Round>(1, rounds_needed(2.0 * M, eps,
                                               predicted_factor_witness()));
+    case ProtocolKind::kVectorCrash:
+    case ProtocolKind::kVectorByz:
+      break;  // vector protocols are exercised by vector_parity_test
   }
   return 1;
 }

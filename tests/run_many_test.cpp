@@ -76,7 +76,10 @@ TEST(RunMany, PreservesInputOrder) {
   }
 }
 
-TEST(RunMany, EmptySweep) { EXPECT_TRUE(run_many({}).empty()); }
+TEST(RunMany, EmptySweep) {
+  EXPECT_TRUE(run_many(std::vector<RunConfig>{}).empty());
+  EXPECT_TRUE(run_many(std::vector<VectorRunConfig>{}).empty());
+}
 
 TEST(RunMany, PropagatesErrors) {
   auto grid = sample_grid();

@@ -1,0 +1,123 @@
+// Input-family helpers of harness/scenario.hpp: shapes, edge cases and
+// determinism.  These families seed every sweep in bench/, so regressions
+// here silently skew whole figures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "harness/scenario.hpp"
+
+namespace apxa::harness {
+namespace {
+
+TEST(LinearInputs, EndpointsAndSpacing) {
+  const auto v = linear_inputs(5, 2.0, 6.0);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 2.0);
+  EXPECT_DOUBLE_EQ(v.back(), 6.0);
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+    EXPECT_DOUBLE_EQ(v[i + 1] - v[i], 1.0);
+  }
+}
+
+TEST(LinearInputs, SinglePartyGetsLo) {
+  // n = 1 must not divide by n - 1.
+  const auto v = linear_inputs(1, 3.5, 9.0);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 3.5);
+}
+
+TEST(LinearInputs, DegenerateRange) {
+  const auto v = linear_inputs(4, 1.25, 1.25);
+  for (const double x : v) EXPECT_DOUBLE_EQ(x, 1.25);
+}
+
+TEST(LinearInputs, RejectsZeroParties) {
+  EXPECT_THROW(linear_inputs(0, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(SplitInputs, CountZeroIsAllLo) {
+  const auto v = split_inputs(5, 0, -1.0, 1.0);
+  ASSERT_EQ(v.size(), 5u);
+  for (const double x : v) EXPECT_DOUBLE_EQ(x, -1.0);
+}
+
+TEST(SplitInputs, CountNIsAllHi) {
+  const auto v = split_inputs(5, 5, -1.0, 1.0);
+  for (const double x : v) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(SplitInputs, HighEntriesSitAtTheTopIds) {
+  // The hi camp occupies the LAST count_hi ids — the clique scheduler's
+  // isolated tail — which is what makes this the lower-bound family.
+  const auto v = split_inputs(6, 2, 0.0, 1.0);
+  EXPECT_EQ(std::count(v.begin(), v.end(), 1.0), 2);
+  EXPECT_DOUBLE_EQ(v[4], 1.0);
+  EXPECT_DOUBLE_EQ(v[5], 1.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+}
+
+TEST(SplitInputs, DegenerateRange) {
+  const auto v = split_inputs(4, 2, 0.5, 0.5);
+  for (const double x : v) EXPECT_DOUBLE_EQ(x, 0.5);
+}
+
+TEST(SplitInputs, RejectsCountAboveN) {
+  EXPECT_THROW(split_inputs(4, 5, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(RandomInputs, DeterministicUnderFixedSeed) {
+  Rng a(42), b(42);
+  const auto va = random_inputs(a, 16, -2.0, 2.0);
+  const auto vb = random_inputs(b, 16, -2.0, 2.0);
+  EXPECT_EQ(va, vb);
+
+  Rng c(43);
+  const auto vc = random_inputs(c, 16, -2.0, 2.0);
+  EXPECT_NE(va, vc);
+}
+
+TEST(RandomInputs, StaysInRange) {
+  Rng rng(7);
+  const auto v = random_inputs(rng, 64, 1.0, 3.0);
+  ASSERT_EQ(v.size(), 64u);
+  for (const double x : v) {
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 3.0);
+  }
+}
+
+TEST(RandomVectorInputs, ShapeRangeAndDeterminism) {
+  Rng a(5), b(5);
+  const auto va = random_vector_inputs(a, 6, 3, -1.0, 1.0);
+  const auto vb = random_vector_inputs(b, 6, 3, -1.0, 1.0);
+  ASSERT_EQ(va.size(), 6u);
+  for (const auto& row : va) {
+    ASSERT_EQ(row.size(), 3u);
+    for (const double x : row) {
+      EXPECT_GE(x, -1.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+  EXPECT_EQ(va, vb);
+}
+
+TEST(CornerSplitInputs, CornersAndEdgeCounts) {
+  const auto v = corner_split_inputs(5, 2, 2, 0.0, 1.0);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[0], (std::vector<double>{0.0, 0.0}));
+  EXPECT_EQ(v[4], (std::vector<double>{1.0, 1.0}));
+  EXPECT_EQ(v[3], (std::vector<double>{1.0, 1.0}));
+
+  for (const auto& row : corner_split_inputs(3, 2, 0, 0.0, 1.0)) {
+    EXPECT_EQ(row, (std::vector<double>{0.0, 0.0}));
+  }
+  for (const auto& row : corner_split_inputs(3, 2, 3, 0.0, 1.0)) {
+    EXPECT_EQ(row, (std::vector<double>{1.0, 1.0}));
+  }
+  EXPECT_THROW(corner_split_inputs(3, 2, 4, 0.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apxa::harness
