@@ -15,7 +15,6 @@ ByzRoundProcess::ByzRoundProcess(ByzSpec spec) : spec_(spec), rng_(spec.seed) {}
 void ByzRoundProcess::on_start(net::Context& ctx) { emit_round(ctx, 0); }
 
 void ByzRoundProcess::on_message(net::Context& ctx, ProcessId from, BytesView payload) {
-  (void)from;
   const auto m = core::decode_round(payload);
   if (!m) return;
   if (!seen_any_) {
@@ -25,6 +24,7 @@ void ByzRoundProcess::on_message(net::Context& ctx, ProcessId from, BytesView pa
     seen_lo_ = std::min(seen_lo_, m->value);
     seen_hi_ = std::max(seen_hi_, m->value);
   }
+  senders_seen_.insert(from);
   // Learn that round r (and, implicitly, r+1 which honest parties will enter)
   // exists; attack both.
   emit_round(ctx, m->round);
@@ -34,6 +34,12 @@ void ByzRoundProcess::on_message(net::Context& ctx, ProcessId from, BytesView pa
 void ByzRoundProcess::emit_round(net::Context& ctx, Round r) {
   if (spec_.kind == ByzKind::kSilent) return;
   if (r >= spec_.max_instances) return;
+  // Hull-escape holds fire until a quorum of distinct senders has been
+  // observed, exactly as in the vector attacker (this is its 1-D shadow).
+  if (spec_.kind == ByzKind::kHullEscape &&
+      senders_seen_.size() < ctx.params().quorum()) {
+    return;
+  }
   if (!emitted_.insert(r).second) return;
 
   const auto n = ctx.params().n;
@@ -64,6 +70,15 @@ void ByzRoundProcess::emit_round(net::Context& ctx, Round r) {
       case ByzKind::kNoise:
         v = rng_.next_double(spec_.lo, spec_.hi);
         break;
+      case ByzKind::kHullEscape: {
+        // 1-D shadow of the vector attack: push toward the observed high
+        // extreme from just inside it (in 1-D box == hull, so this is a
+        // negative control — it cannot break validity).
+        const double lo = seen_any_ ? seen_lo_ : spec_.lo;
+        const double hi = seen_any_ ? seen_hi_ : spec_.hi;
+        v = hi - spec_.hull_margin * std::max(1e-12, hi - lo);
+        break;
+      }
     }
     ctx.send(to, encode_round(RoundMsg{r, v, budget}));
   }
@@ -80,7 +95,6 @@ void ByzVectorProcess::on_start(net::Context& ctx) { emit_round(ctx, 0); }
 
 void ByzVectorProcess::on_message(net::Context& ctx, ProcessId from,
                                   BytesView payload) {
-  (void)from;
   const auto m = core::decode_vec_round(payload);
   if (!m || m->second.size() != dim_) return;
   for (std::uint32_t c = 0; c < dim_; ++c) {
@@ -92,6 +106,7 @@ void ByzVectorProcess::on_message(net::Context& ctx, ProcessId from,
     }
   }
   seen_any_ = true;
+  senders_seen_.insert(from);
   emit_round(ctx, m->first);
   emit_round(ctx, m->first + 1);
 }
@@ -99,6 +114,16 @@ void ByzVectorProcess::on_message(net::Context& ctx, ProcessId from,
 void ByzVectorProcess::emit_round(net::Context& ctx, Round r) {
   if (spec_.kind == ByzKind::kSilent) return;
   if (r >= spec_.max_instances) return;
+  // Hull-escape wants its corner steered by the REAL honest extremes, so it
+  // holds fire until it has observed vectors from a quorum of DISTINCT
+  // senders (without consuming the round: a later learning event retries).
+  // A corner forged from a one-or-two-party prefix would neither pull
+  // laundered coordinates toward their true extremes nor look like the
+  // coordinated-extreme attack it is specified to be.
+  if (spec_.kind == ByzKind::kHullEscape &&
+      senders_seen_.size() < ctx.params().quorum()) {
+    return;
+  }
   if (!emitted_.insert(r).second) return;
 
   const auto n = ctx.params().n;
@@ -130,6 +155,17 @@ void ByzVectorProcess::emit_round(net::Context& ctx, Round r) {
         case ByzKind::kNoise:
           v[c] = rng_.next_double(spec_.lo, spec_.hi);
           break;
+        case ByzKind::kHullEscape: {
+          // Coordinated corner: the same point for every receiver, each
+          // coordinate a small margin inside the observed honest maximum —
+          // survives per-coordinate trimming yet pulls every coordinate
+          // toward its extreme simultaneously, i.e. toward a box corner
+          // outside the honest convex hull.
+          const double lo = seen_any_ ? seen_lo_[c] : spec_.lo;
+          const double hi = seen_any_ ? seen_hi_[c] : spec_.hi;
+          v[c] = hi - spec_.hull_margin * std::max(1e-12, hi - lo);
+          break;
+        }
       }
     }
     ctx.send(to, core::encode_vec_round(r, v));
@@ -177,6 +213,9 @@ void ByzWitnessProcess::emit_iteration(net::Context& ctx, std::uint32_t iter) {
         break;
       case ByzKind::kNoise:
         v = rng_.next_double(spec_.lo, spec_.hi);
+        break;
+      case ByzKind::kHullEscape:
+        v = spec_.hi;  // scalar witness protocol: plain high extreme
         break;
     }
     ctx.send(to, core::encode_rb(core::RbMsg{core::MsgType::kRbSend, iter,

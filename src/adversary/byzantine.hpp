@@ -14,6 +14,18 @@
 //                  an amplification factor; defeats naive averaging, should
 //                  be laundered by reduce-based rules.
 //   kNoise       — uniform random value per receiver within an interval.
+//   kHullEscape  — coordinated per-coordinate extremes: every receiver gets
+//                  the SAME point sitting a small margin inside the observed
+//                  per-coordinate maxima (the top corner of the honest box).
+//                  Staying just inside the honest range survives reduce-based
+//                  per-coordinate laundering, so kVectorByz outputs drift
+//                  toward the box corner — which for d >= 2 lies OUTSIDE the
+//                  convex hull of the honest inputs: box validity holds,
+//                  convex validity breaks.  Against kVectorConvex the corner
+//                  is far from the honest cluster and the safe-area /
+//                  trimmed averaging discards it.  In one dimension the box
+//                  IS the hull, so the scalar variant is a (harmless)
+//                  adaptive high-push — a negative control.
 //
 // Attackers emit one batch of round-r messages the first time they learn
 // round r exists (own start covers round 0); they also inflate the adaptive
@@ -36,6 +48,7 @@ enum class ByzKind : std::uint8_t {
   kEquivocate,
   kSpoiler,
   kNoise,
+  kHullEscape,
 };
 
 struct ByzSpec {
@@ -44,6 +57,10 @@ struct ByzSpec {
   double lo = -1.0e3;   ///< low extreme / noise interval start
   double hi = 1.0e3;    ///< high extreme / noise interval end
   double amplify = 2.0; ///< spoiler: how far past observed extremes to shoot
+  /// Hull-escape: fraction of the observed per-coordinate width to stay
+  /// INSIDE the honest maxima (so reduce-based trimming does not discard the
+  /// forged corner outright).
+  double hull_margin = 0.05;
   std::uint32_t inflate_budget = 0;  ///< nonzero: claim this round budget
   std::uint64_t seed = 1;            ///< noise determinism
   /// Attack at most this many rounds/iterations.  Bounds the traffic a lone
@@ -67,6 +84,7 @@ class ByzRoundProcess final : public net::Process {
   std::set<Round> emitted_;
   double seen_lo_ = 0.0, seen_hi_ = 0.0;
   bool seen_any_ = false;
+  std::set<ProcessId> senders_seen_;  ///< distinct senders; gates hull-escape
 };
 
 /// Attacker for the vector (R^d) round protocol: the same strategies applied
@@ -91,6 +109,7 @@ class ByzVectorProcess final : public net::Process {
   std::set<Round> emitted_;
   std::vector<double> seen_lo_, seen_hi_;  // per-coordinate observed extremes
   bool seen_any_ = false;
+  std::set<ProcessId> senders_seen_;  ///< distinct senders; gates hull-escape
 };
 
 /// Attacker for the witness-technique protocol: equivocates RB SENDs (which

@@ -1,0 +1,104 @@
+// Convex-validity vector approximate agreement (safe-area averaging).
+//
+// The byzantine mode of the coordinate-wise protocol (multidim.hpp with the
+// DLPSW rule, ProtocolKind::kVectorByz) launders per coordinate and so
+// guarantees BOX validity only.  ConvexVectorProcess closes that gap with
+// the Mendes-Herlihy / Vaidya-Garg safe-area construction (geom/safe_area.hpp):
+// each round a party multicasts its vector, collects a validated view of
+// n - t round-tagged points — at most one per sender per round, so up to t
+// entries of any view are byzantine — and moves to the safe-area midpoint of
+// the view.  A certified safe-area point lies in the hull of the honest
+// entries of the view no matter which <= t are byzantine, which is the
+// inductive step of CONVEX validity: outputs stay in the convex hull of the
+// honest inputs, not merely their bounding box.
+//
+// Scope and honesty of the guarantee:
+//  - view equalization: Mendes-Herlihy additionally run their first phase
+//    over reliable broadcast + witnesses so all honest views draw from one
+//    common pool.  Here views are quorum-collected per round (as in the rest
+//    of this codebase); sender-authenticated channels already limit a
+//    byzantine party to one point per honest view per round, and safety
+//    against those <= t points is carried entirely by the safe-area rule.
+//  - dimensionality: the safe area of an m-point view is guaranteed
+//    nonempty only when m >= (d+2)t + 1; past that (large d, small n) the
+//    rule degrades to the outlier-trimmed centroid fallback — anchored on
+//    the certified-honest core of own value, its echoes and (t+1)-supported
+//    values, and degrading to THAT core alone when the view is a degenerate
+//    simplex (m <= d + 1) or has no slack (m = 2t + 1) — and the harness
+//    measures the resulting convex validity instead of assuming it
+//    (VectorRunReport::convex_validity_ok, bench/f6_multidim).
+//  - resilience: n > 3t (the trimmed fallback needs view slack m > 2t with
+//    m = n - t); the certified regime additionally wants n >= (d+2)t + 1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "core/multidim.hpp"
+#include "geom/safe_area.hpp"
+#include "net/process.hpp"
+
+namespace apxa::core {
+
+struct ConvexAaConfig {
+  SystemParams params;
+  std::uint32_t dim = 2;
+  std::vector<double> input;  ///< size dim
+  Round fixed_rounds = 1;
+  geom::SafeAreaOptions safe_area;  ///< LP tolerance / enumeration budget
+  VecTraceFn trace;                 ///< optional observation hook
+};
+
+/// Round-based convex-validity AA process for R^d (fixed-round termination).
+/// Shares the vector wire format (core::encode_vec_round, tag 7) with
+/// VectorAaProcess, so schedulers' value probes and adversary::ByzVectorProcess
+/// attack both protocols identically; only the averaging rule differs.
+class ConvexVectorProcess final : public net::Process {
+ public:
+  explicit ConvexVectorProcess(ConvexAaConfig cfg);
+
+  void on_start(net::Context& ctx) override;
+  void on_message(net::Context& ctx, ProcessId from, BytesView payload) override;
+
+  [[nodiscard]] bool has_output() const override { return done_; }
+  [[nodiscard]] std::optional<std::vector<double>> vector_output() const override {
+    return done_ ? std::optional<std::vector<double>>(value_) : std::nullopt;
+  }
+  [[nodiscard]] Round current_round() const { return round_; }
+
+  /// Rounds averaged through a certified safe-area point vs the trimmed
+  /// fallback (diagnostics; stable once done).
+  [[nodiscard]] std::uint64_t exact_rounds() const { return exact_rounds_; }
+  [[nodiscard]] std::uint64_t fallback_rounds() const { return fallback_rounds_; }
+
+ private:
+  struct Slot {
+    std::vector<std::vector<double>> values;  // arrival order
+    std::vector<ProcessId> contributors;
+    bool own_added = false;
+    bool frozen = false;
+  };
+
+  void begin_round(net::Context& ctx);
+  void try_advance(net::Context& ctx);
+  void maybe_freeze(Slot& s) const;
+  void add_own(Round r, const std::vector<double>& v);
+  void add_remote(ProcessId from, Round r, std::vector<double> v);
+  /// geom::TrustedMask for the view: own value and its echoes (see the
+  /// comment in the implementation).
+  std::vector<std::uint8_t> trusted_mask(const Slot& s) const;
+
+  ConvexAaConfig cfg_;
+  std::map<Round, Slot> slots_;
+  std::vector<double> value_;
+  Round round_ = 0;
+  bool done_ = false;
+  ProcessId self_ = kNoProcess;
+  std::uint64_t exact_rounds_ = 0;
+  std::uint64_t fallback_rounds_ = 0;
+};
+
+}  // namespace apxa::core

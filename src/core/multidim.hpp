@@ -19,8 +19,10 @@
 // *convex* hull of the correct inputs, which is why multidimensional
 // byzantine AA with convex validity required new machinery in the follow-on
 // literature (Mendes-Herlihy STOC'13 / Vaidya-Garg PODC'13: safe areas,
-// Tverberg points).  The crash model has no such gap: box = product of
-// per-coordinate hulls of genuine values.
+// Tverberg points).  That machinery lives in geom/safe_area.hpp and runs as
+// core::ConvexVectorProcess (ProtocolKind::kVectorConvex); this process
+// keeps the cheap box-valid rule.  The crash model has no such gap: box =
+// product of per-coordinate hulls of genuine values.
 //
 // VectorAaProcess runs on any exec::Backend through the harness layer: build
 // a harness::VectorRunConfig (protocol kVectorCrash or kVectorByz) and call

@@ -29,6 +29,8 @@ double byz_value(const adversary::ByzSpec& s, ProcessId to, std::uint32_t n,
     }
     case ByzKind::kNoise:
       return rng.next_double(s.lo, s.hi);
+    case ByzKind::kHullEscape:
+      return seen_hi - s.hull_margin * std::max(1e-12, seen_hi - seen_lo);
   }
   return 0.0;
 }

@@ -23,7 +23,8 @@
 // coordinate-wise laundering yields BOX validity only — outputs can leave
 // the *convex* hull of the correct inputs.  Convex validity in R^d requires
 // the Mendes-Herlihy / Vaidya-Garg safe-area machinery (STOC'13 / PODC'13),
-// which is out of scope here and recorded as a future direction in ROADMAP.md.
+// implemented on top of these primitives in geom/safe_area.hpp and exposed
+// as ProtocolKind::kVectorConvex (core/convex_aa.hpp).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,644 @@
+#include "geom/safe_area.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "common/ensure.hpp"
+
+namespace apxa::geom {
+
+namespace {
+
+// --- phase-1 simplex --------------------------------------------------------
+//
+// Feasibility of { A x = b, x >= 0 } for a dense r x c system: start from the
+// all-artificial basis and minimize the sum of artificials (Bland's rule, so
+// degenerate pivots — collinear points, duplicated values — cannot cycle).
+// Reduced costs and the objective are recomputed from the artificial basic
+// rows every iteration; the systems here are tiny (r <= d + 2t + 1, c <= n),
+// so the extra O(r c) per pivot is irrelevant and avoids numerical drift.
+// Returns the feasible x when the residual optimum is <= tol.
+std::optional<std::vector<double>> lp_feasible(std::vector<std::vector<double>> A,
+                                               std::vector<double> b, double tol) {
+  const std::size_t rows = A.size();
+  const std::size_t cols = rows == 0 ? 0 : A[0].size();
+  if (rows == 0) return std::vector<double>(cols, 0.0);
+  constexpr double kPivotEps = 1e-11;
+
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (b[i] < 0.0) {
+      for (auto& a : A[i]) a = -a;
+      b[i] = -b[i];
+    }
+  }
+  // basis[i] == cols + i marks row i's artificial as basic.
+  std::vector<std::size_t> basis(rows);
+  for (std::size_t i = 0; i < rows; ++i) basis[i] = cols + i;
+
+  const std::size_t max_iter = 64 + 16 * (rows + cols) * (rows + cols);
+  for (std::size_t iter = 0; iter < max_iter; ++iter) {
+    double obj = 0.0;
+    std::vector<double> z(cols, 0.0);
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (basis[i] < cols) continue;  // original column basic: cost 0
+      obj += b[i];
+      for (std::size_t j = 0; j < cols; ++j) z[j] -= A[i][j];
+    }
+    if (obj <= tol) {
+      std::vector<double> x(cols, 0.0);
+      for (std::size_t i = 0; i < rows; ++i) {
+        if (basis[i] < cols) x[basis[i]] = std::max(0.0, b[i]);
+      }
+      return x;
+    }
+    // Bland: the lowest-index improving column (artificials never re-enter).
+    std::size_t enter = cols;
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (z[j] < -kPivotEps) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter == cols) return std::nullopt;  // optimal with residual > tol
+    std::size_t leave = rows;
+    double best_ratio = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (A[i][enter] <= kPivotEps) continue;
+      const double ratio = b[i] / A[i][enter];
+      if (leave == rows || ratio < best_ratio - kPivotEps ||
+          (ratio < best_ratio + kPivotEps && basis[i] < basis[leave])) {
+        leave = i;
+        best_ratio = ratio;
+      }
+    }
+    if (leave == rows) return std::nullopt;  // cannot happen for phase-1; defensive
+    const double piv = A[leave][enter];
+    for (auto& a : A[leave]) a /= piv;
+    b[leave] /= piv;
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (i == leave || A[i][enter] == 0.0) continue;
+      const double f = A[i][enter];
+      for (std::size_t j = 0; j < cols; ++j) A[i][j] -= f * A[leave][j];
+      b[i] -= f * b[leave];
+    }
+    basis[leave] = enter;
+  }
+  return std::nullopt;  // iteration cap: treat as infeasible (defensive)
+}
+
+void ensure_uniform(std::span<const std::vector<double>> points) {
+  APXA_ENSURE(!points.empty(), "safe-area operation on an empty point set");
+  const std::size_t d = points.front().size();
+  APXA_ENSURE(d >= 1, "points must have at least one coordinate");
+  for (const auto& p : points) {
+    APXA_ENSURE(p.size() == d, "safe-area operation over mixed dimensions");
+  }
+}
+
+/// Visit every k-combination of {0..m-1} in lexicographic order; `fn` returns
+/// false to continue, true to stop early.  Returns whether fn stopped.
+template <typename Fn>
+bool for_each_combination(std::uint32_t m, std::uint32_t k, Fn&& fn) {
+  std::vector<std::uint32_t> idx(k);
+  std::iota(idx.begin(), idx.end(), 0u);
+  if (k == 0) return fn(idx);
+  if (k > m) return false;
+  while (true) {
+    if (fn(idx)) return true;
+    // advance
+    std::uint32_t i = k;
+    while (i > 0 && idx[i - 1] == m - k + (i - 1)) --i;
+    if (i == 0) return false;
+    ++idx[i - 1];
+    for (std::uint32_t j = i; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+/// C(m, k), saturating at cap + 1 so callers compare against a budget.
+std::uint64_t binomial_capped(std::uint64_t m, std::uint64_t k, std::uint64_t cap) {
+  if (k > m) return 0;
+  k = std::min(k, m - k);
+  std::uint64_t r = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    if (r > cap) return cap + 1;
+    r = r * (m - k + i) / i;
+  }
+  return std::min(r, cap + 1);
+}
+
+/// Deterministic index orderings the partition probes round-robin over:
+/// natural (and reversed), by each of the first few coordinates, by distance
+/// from the centroid, and a few hash-scrambled orders — interleaving each
+/// ordering spreads near/far points across the groups, which is a decent
+/// (cheap) heuristic for Tverberg partitions; more orderings buy more
+/// chances to hit one of the partitions Tverberg's theorem promises.
+std::vector<std::vector<std::uint32_t>> partition_orderings(
+    std::span<const std::vector<double>> points) {
+  const auto m = static_cast<std::uint32_t>(points.size());
+  const std::size_t d = points.front().size();
+  std::vector<std::uint32_t> natural(m);
+  std::iota(natural.begin(), natural.end(), 0u);
+
+  std::vector<std::vector<std::uint32_t>> orders;
+  const std::vector<double> c = centroid(points);
+  orders.push_back(natural);
+  std::stable_sort(orders.back().begin(), orders.back().end(),
+                   [&points, &c](std::uint32_t a, std::uint32_t b) {
+                     return l2_dist(points[a], c) < l2_dist(points[b], c);
+                   });
+  for (std::size_t coord = 0; coord < std::min<std::size_t>(d, 4); ++coord) {
+    orders.push_back(natural);
+    std::stable_sort(orders.back().begin(), orders.back().end(),
+                     [&points, coord](std::uint32_t a, std::uint32_t b) {
+                       return points[a][coord] < points[b][coord];
+                     });
+  }
+  orders.push_back(natural);
+  orders.emplace_back(natural.rbegin(), natural.rend());
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    orders.push_back(natural);
+    std::stable_sort(orders.back().begin(), orders.back().end(),
+                     [seed](std::uint32_t a, std::uint32_t b) {
+                       auto mix = [seed](std::uint64_t i) {
+                         std::uint64_t z = (i + seed * 0x9e3779b97f4a7c15ULL);
+                         z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+                         return z ^ (z >> 27);
+                       };
+                       return mix(a) < mix(b);
+                     });
+  }
+  return orders;
+}
+
+std::vector<std::vector<std::uint32_t>> round_robin_groups(
+    const std::vector<std::uint32_t>& order, std::uint32_t r) {
+  std::vector<std::vector<std::uint32_t>> groups(r);
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    groups[i % r].push_back(order[i]);
+  }
+  return groups;
+}
+
+bool in_hull_of_subset(std::span<const double> p,
+                       std::span<const std::vector<double>> points,
+                       const std::vector<std::uint32_t>& subset, double tol) {
+  std::vector<std::vector<double>> pts;
+  pts.reserve(subset.size());
+  for (const std::uint32_t i : subset) pts.push_back(points[i]);
+  return in_convex_hull(p, pts, tol);
+}
+
+}  // namespace
+
+bool in_convex_hull(std::span<const double> p,
+                    std::span<const std::vector<double>> points, double tol) {
+  ensure_uniform(points);
+  const std::size_t d = points.front().size();
+  APXA_ENSURE(p.size() == d, "query point dimension mismatch");
+  const std::size_t m = points.size();
+
+  // Bounding-box prefilter (with slack no tighter than the LP's scaled
+  // tolerance): rejects the common far-outside case without touching the LP.
+  for (std::size_t c = 0; c < d; ++c) {
+    double lo = points[0][c], hi = points[0][c], amax = std::abs(p[c]);
+    for (const auto& x : points) {
+      lo = std::min(lo, x[c]);
+      hi = std::max(hi, x[c]);
+      amax = std::max(amax, std::abs(x[c]));
+    }
+    const double slack = tol * (1.0 + amax);
+    if (p[c] < lo - slack || p[c] > hi + slack) return false;
+  }
+
+  // Convex-combination system, translated to p and row-normalized:
+  //   sum_i lambda_i (x_i - p) = 0   (d rows)
+  //   sum_i lambda_i             = 1
+  std::vector<std::vector<double>> A(d + 1, std::vector<double>(m));
+  std::vector<double> b(d + 1, 0.0);
+  for (std::size_t c = 0; c < d; ++c) {
+    double scale = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      A[c][i] = points[i][c] - p[c];
+      scale = std::max(scale, std::abs(A[c][i]));
+    }
+    if (scale > tol) {
+      for (auto& a : A[c]) a /= scale;
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) A[d][i] = 1.0;
+  b[d] = 1.0;
+  return lp_feasible(std::move(A), std::move(b), tol).has_value();
+}
+
+int removal_robustness(std::span<const double> p,
+                       std::span<const std::vector<double>> points,
+                       std::uint32_t t, const SafeAreaOptions& opts) {
+  ensure_uniform(points);
+  const auto m = static_cast<std::uint32_t>(points.size());
+  APXA_ENSURE(t < m, "removal budget must leave a nonempty subset");
+  if (!in_convex_hull(p, points, opts.tol)) return -1;
+  std::vector<std::uint32_t> keep;
+  for (std::uint32_t k = 1; k <= t; ++k) {
+    if (binomial_capped(m, k, opts.max_enumerated) > opts.max_enumerated) {
+      return static_cast<int>(k) - 1;  // enumeration budget: verified so far
+    }
+    const bool violated = for_each_combination(
+        m, k, [&](const std::vector<std::uint32_t>& removed) {
+          keep.clear();
+          std::uint32_t r = 0;
+          for (std::uint32_t i = 0; i < m; ++i) {
+            if (r < removed.size() && removed[r] == i) {
+              ++r;
+              continue;
+            }
+            keep.push_back(i);
+          }
+          return !in_hull_of_subset(p, points, keep, opts.tol);
+        });
+    if (violated) return static_cast<int>(k) - 1;
+  }
+  return static_cast<int>(t);
+}
+
+bool in_safe_area(std::span<const double> p,
+                  std::span<const std::vector<double>> points, std::uint32_t t,
+                  const SafeAreaOptions& opts) {
+  ensure_uniform(points);
+  const auto m = static_cast<std::uint32_t>(points.size());
+  APXA_ENSURE(t < m, "fault budget must leave a nonempty subset");
+  if (t == 0) return in_convex_hull(p, points, opts.tol);
+  if (binomial_capped(m, t, opts.max_enumerated) <= opts.max_enumerated) {
+    return removal_robustness(p, points, t, opts) == static_cast<int>(t);
+  }
+  // Vaidya-Garg fallback for larger n: a (t+1)-partition witness — p in the
+  // hull of t+1 disjoint groups is in every (m-t)-subset hull, because any t
+  // removals spare at least one group.  Sufficient, not necessary.
+  if (m < t + 1) return false;
+  for (const auto& order : partition_orderings(points)) {
+    bool all = true;
+    for (const auto& group : round_robin_groups(order, t + 1)) {
+      if (!in_hull_of_subset(p, points, group, opts.tol)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+std::optional<std::vector<double>> tverberg_point(
+    std::span<const std::vector<double>> points, std::uint32_t r,
+    const SafeAreaOptions& opts) {
+  ensure_uniform(points);
+  APXA_ENSURE(r >= 1, "partition count must be positive");
+  const auto m = static_cast<std::uint32_t>(points.size());
+  const std::size_t d = points.front().size();
+  if (r == 1) return centroid(points);
+  if (m < r) return std::nullopt;  // some group would be empty
+
+  // Center for conditioning; the LP works on y_i = x_i - centroid.
+  const std::vector<double> center = centroid(points);
+
+  for (const auto& order : partition_orderings(points)) {
+    const auto groups = round_robin_groups(order, r);
+    // Joint convex-combination system over all lambdas:
+    //   per group g:            sum_{i in g} lambda_i = 1
+    //   per group g >= 1, c:    sum_{i in g0} lambda_i y_i[c]
+    //                         - sum_{i in g}  lambda_i y_i[c] = 0
+    const std::size_t rows = r + (r - 1) * d;
+    std::vector<std::vector<double>> A(rows, std::vector<double>(m, 0.0));
+    std::vector<double> b(rows, 0.0);
+    for (std::uint32_t g = 0; g < r; ++g) {
+      for (const std::uint32_t i : groups[g]) A[g][i] = 1.0;
+      b[g] = 1.0;
+    }
+    for (std::uint32_t g = 1; g < r; ++g) {
+      for (std::size_t c = 0; c < d; ++c) {
+        auto& row = A[r + (g - 1) * d + c];
+        for (const std::uint32_t i : groups[0]) row[i] += points[i][c] - center[c];
+        for (const std::uint32_t i : groups[g]) row[i] -= points[i][c] - center[c];
+        double scale = 0.0;
+        for (const double a : row) scale = std::max(scale, std::abs(a));
+        if (scale > opts.tol) {
+          for (auto& a : row) a /= scale;
+        }
+      }
+    }
+    const auto lambda = lp_feasible(std::move(A), std::move(b), opts.tol);
+    if (!lambda) continue;
+    std::vector<double> x(d, 0.0);
+    for (const std::uint32_t i : groups[0]) {
+      for (std::size_t c = 0; c < d; ++c) x[c] += (*lambda)[i] * points[i][c];
+    }
+    return x;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<double>> radon_point(
+    std::span<const std::vector<double>> points) {
+  ensure_uniform(points);
+  const auto m = static_cast<std::uint32_t>(points.size());
+  const std::size_t d = points.front().size();
+  const std::size_t k = d + 2;
+  if (m < k) return std::nullopt;
+
+  // The d+2 points closest to the centroid (deterministic; deep points give
+  // a central Radon point, which helps the averaging rule contract).
+  const std::vector<double> c = centroid(points);
+  std::vector<std::uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&points, &c](std::uint32_t a, std::uint32_t b) {
+                     return l2_dist(points[a], c) < l2_dist(points[b], c);
+                   });
+  order.resize(k);
+
+  // Affine dependence: nontrivial alpha with sum_i alpha_i x_i = 0 and
+  // sum_i alpha_i = 0 — the kernel of the (d+1) x (d+2) homogeneous system
+  // [x_i - c; 1], found by Gaussian elimination with partial pivoting.
+  const std::size_t rows = d + 1;
+  std::vector<std::vector<double>> M(rows, std::vector<double>(k));
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t r = 0; r < d; ++r) M[r][i] = points[order[i]][r] - c[r];
+    M[d][i] = 1.0;
+  }
+  std::vector<std::size_t> pivot_col;
+  std::size_t row = 0;
+  std::vector<bool> is_pivot(k, false);
+  for (std::size_t col = 0; col < k && row < rows; ++col) {
+    std::size_t best = row;
+    for (std::size_t r = row + 1; r < rows; ++r) {
+      if (std::abs(M[r][col]) > std::abs(M[best][col])) best = r;
+    }
+    if (std::abs(M[best][col]) < 1e-12) continue;
+    std::swap(M[row], M[best]);
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == row) continue;
+      const double f = M[r][col] / M[row][col];
+      for (std::size_t j = col; j < k; ++j) M[r][j] -= f * M[row][j];
+    }
+    pivot_col.push_back(col);
+    is_pivot[col] = true;
+    ++row;
+  }
+  // rank <= d+1 < k, so a free column exists; set it to 1, other free to 0.
+  std::size_t free_col = k;
+  for (std::size_t col = 0; col < k; ++col) {
+    if (!is_pivot[col]) {
+      free_col = col;
+      break;
+    }
+  }
+  if (free_col == k) return std::nullopt;  // defensive; cannot happen
+  std::vector<double> alpha(k, 0.0);
+  alpha[free_col] = 1.0;
+  for (std::size_t r = 0; r < pivot_col.size(); ++r) {
+    alpha[pivot_col[r]] = -M[r][free_col] / M[r][pivot_col[r]];
+  }
+  // Radon point: the common point of the two sign classes' hulls.
+  double pos = 0.0;
+  for (const double a : alpha) {
+    if (a > 0.0) pos += a;
+  }
+  if (pos < 1e-12) return std::nullopt;  // degenerate kernel; defensive
+  std::vector<double> x(d, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (alpha[i] <= 0.0) continue;
+    for (std::size_t r = 0; r < d; ++r) {
+      x[r] += (alpha[i] / pos) * points[order[i]][r];
+    }
+  }
+  return x;
+}
+
+bool same_point(std::span<const double> a, std::span<const double> b,
+                double rel_tol) {
+  double na = 0.0, nb = 0.0;
+  for (const double x : a) na = std::max(na, std::abs(x));
+  for (const double x : b) nb = std::max(nb, std::abs(x));
+  return linf_dist(a, b) <= rel_tol * (1.0 + std::max(na, nb));
+}
+
+std::vector<std::uint32_t> support_counts(
+    std::span<const std::vector<double>> points, double rel_tol) {
+  ensure_uniform(points);
+  const std::size_t m = points.size();
+  std::vector<std::uint32_t> support(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (same_point(points[i], points[j], rel_tol)) ++support[i];
+    }
+  }
+  return support;
+}
+
+std::vector<double> centroid(std::span<const std::vector<double>> points) {
+  ensure_uniform(points);
+  const std::size_t d = points.front().size();
+  std::vector<double> c(d, 0.0);
+  for (const auto& p : points) {
+    for (std::size_t k = 0; k < d; ++k) c[k] += p[k];
+  }
+  for (auto& x : c) x /= static_cast<double>(points.size());
+  return c;
+}
+
+std::vector<double> coordinate_median(std::span<const std::vector<double>> points) {
+  ensure_uniform(points);
+  const std::size_t d = points.front().size();
+  const std::size_t m = points.size();
+  std::vector<double> med(d);
+  std::vector<double> col(m);
+  for (std::size_t c = 0; c < d; ++c) {
+    for (std::size_t i = 0; i < m; ++i) col[i] = points[i][c];
+    std::sort(col.begin(), col.end());
+    med[c] = m % 2 == 1 ? col[m / 2] : 0.5 * (col[m / 2 - 1] + col[m / 2]);
+  }
+  return med;
+}
+
+std::vector<double> trimmed_centroid(std::span<const std::vector<double>> points,
+                                     std::uint32_t t, TrustedMask trusted) {
+  ensure_uniform(points);
+  const auto m = static_cast<std::uint32_t>(points.size());
+  APXA_ENSURE(m > 2 * t, "trimmed centroid requires m > 2t");
+  APXA_ENSURE(trusted.empty() || trusted.size() == m,
+              "trusted mask must cover every point");
+  if (t == 0) return centroid(points);
+
+  // Certified-honest points — caller-trusted entries (own value and its
+  // echoes) and (t+1)-supported values (support_counts) — are always kept:
+  // a certificate has no false positives, and keeping an honest value can
+  // only keep the centroid inside the honest hull.  NOTE heuristics that
+  // looked plausible here (treating near-duplicate clusters of size <= t or
+  // cross-round repeats as attack signatures) misfire on honest traffic:
+  // the deterministic rule plus overlapping views makes distinct honest
+  // parties emit identical vectors mid-convergence, and a party whose view
+  // reached a fixpoint legitimately repeats itself.  Hence only sound
+  // certificates and geometry below.
+  const auto support = support_counts(points);
+  std::vector<std::uint32_t> core;
+  for (std::uint32_t i = 0; i < m; ++i) {
+    if (support[i] >= t + 1 || (!trusted.empty() && trusted[i])) {
+      core.push_back(i);
+    }
+  }
+
+  // Degenerate views — m <= d + 1 points in R^d are (generically) affinely
+  // independent: the view is a simplex with no interior, every point is a
+  // vertex, and distance/extremity cannot separate a forged vertex from an
+  // honest one.  Average the certified-honest core only; anything else
+  // risks a permanent off-hull leak that later certification would lock in.
+  if (m <= points.front().size() + 1 && !core.empty()) {
+    std::vector<std::vector<double>> certified;
+    certified.reserve(core.size());
+    for (const std::uint32_t i : core) certified.push_back(points[i]);
+    return centroid(certified);
+  }
+
+  // Two-stage geometric drop of up to 2t uncertified points, keeping at
+  // least max(m - 2t, |core|):
+  //
+  // Stage 1 — distance: drop the t uncertified points farthest (L2) from
+  // the coordinate median.  Catches far-outside attackers (extremes,
+  // equivocators, spoilers, wide noise), whose distance dwarfs the honest
+  // scatter.
+  //
+  // Stage 2 — simultaneous extremity: with the far points gone (so their
+  // reach no longer saturates the column ranges), recompute each column's
+  // range over the survivors and score the mean per-coordinate extremity
+  // |2u - 1|, u the position inside the column.  A corner-steering attacker
+  // (the box-valid hull-escape signature) must sit near an end of EVERY
+  // column simultaneously and scores near 1; honest points are extreme in a
+  // few columns only and concentrate near 1/2.  Drop the t worst.
+  //
+  // The <= t uncertified attacker points survive only by looking closer and
+  // less extreme than 2t honest points, and over-trimming honest points
+  // merely shrinks the hull the centroid is a convex combination of.
+  const std::size_t d = points.front().size();
+  const std::vector<double> med = coordinate_median(points);
+  auto drop_worst = [&](std::vector<std::uint32_t>& ids, std::uint32_t budget,
+                        auto&& score) {
+    std::stable_sort(ids.begin(), ids.end(),
+                     [&score](std::uint32_t a, std::uint32_t b) {
+                       return score(a) > score(b);
+                     });
+    std::vector<std::uint32_t> out;
+    std::uint32_t dropped = 0;
+    for (const std::uint32_t i : ids) {
+      const bool in_core = std::find(core.begin(), core.end(), i) != core.end();
+      if (dropped < budget && !in_core) {
+        ++dropped;
+        continue;
+      }
+      out.push_back(i);
+    }
+    ids = std::move(out);
+  };
+
+  std::vector<std::uint32_t> ids(m);
+  std::iota(ids.begin(), ids.end(), 0u);
+  drop_worst(ids, t,
+             [&](std::uint32_t i) { return l2_dist(points[i], med); });
+
+  std::vector<double> lo(d), hi(d);
+  for (std::size_t c = 0; c < d; ++c) {
+    lo[c] = hi[c] = points[ids[0]][c];
+    for (const std::uint32_t i : ids) {
+      lo[c] = std::min(lo[c], points[i][c]);
+      hi[c] = std::max(hi[c], points[i][c]);
+    }
+  }
+  std::vector<double> extremity(m, 0.0);
+  for (const std::uint32_t i : ids) {
+    for (std::size_t c = 0; c < d; ++c) {
+      const double width = hi[c] - lo[c];
+      if (width < 1e-300) continue;
+      extremity[i] += std::abs(2.0 * (points[i][c] - lo[c]) / width - 1.0);
+    }
+  }
+  drop_worst(ids, t, [&](std::uint32_t i) { return extremity[i]; });
+
+  std::vector<std::vector<double>> kept;
+  kept.reserve(ids.size());
+  for (const std::uint32_t i : ids) kept.push_back(points[i]);
+  return centroid(kept);
+}
+
+SafePoint safe_midpoint(std::span<const std::vector<double>> points,
+                        std::uint32_t t, const SafeAreaOptions& opts,
+                        TrustedMask trusted) {
+  ensure_uniform(points);
+  const auto m = static_cast<std::uint32_t>(points.size());
+  const std::size_t d = points.front().size();
+  APXA_ENSURE(m > 2 * t, "safe midpoint requires m > 2t");
+
+  if (t == 0) return {centroid(points), 0, true};  // safe area == conv(points)
+
+  if (d == 1) {
+    // Closed form: the 1-D safe area is [v_(t), v_(m-1-t)] — the hull of
+    // reduce_t — and the rule is its midpoint (the byzantine halving rule).
+    std::vector<double> col = coordinate(points, 0);
+    std::sort(col.begin(), col.end());
+    return {{0.5 * (col[t] + col[m - 1 - t])}, t, true};
+  }
+
+  // Certified honest echoes: a point supported by >= t + 1 view entries has
+  // an honest contributor, so it IS an honest round value and adopting it
+  // preserves convex validity (support_counts).  One representative per
+  // near-duplicate cluster; averaging representatives of distinct clusters
+  // contracts views that straddle two honest camps.
+  std::vector<std::vector<double>> safe;
+  const auto support = support_counts(points);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    if (support[i] < t + 1) continue;
+    bool first_of_cluster = true;
+    for (std::uint32_t j = 0; j < i && first_of_cluster; ++j) {
+      if (support[j] >= t + 1 && same_point(points[i], points[j])) {
+        first_of_cluster = false;
+      }
+    }
+    if (first_of_cluster) safe.push_back(points[i]);
+  }
+
+  // Deterministic candidates.  A Tverberg point over t+1 groups carries a
+  // partition certificate, so its robustness is t by construction; the rest
+  // are measured.  The safe area is convex, so averaging the level-t
+  // candidates stays at level t.  SKIPPED for degenerate views (m <= d + 1):
+  // affinely independent points have a provably EMPTY safe area for t >= 1
+  // (removing any vertex strictly shrinks the simplex), so any LP
+  // "certificate" there is tolerance noise — and adopting one hands the
+  // view to a forged vertex.  Genuine robustness through duplicated values
+  // is exactly the (t+1)-support certification above.
+  const std::vector<double> trimmed = trimmed_centroid(points, t, trusted);
+  int trimmed_level = -1;
+  if (m > d + 1) {
+    if (auto tv = tverberg_point(points, t + 1, opts)) {
+      safe.push_back(std::move(*tv));
+    }
+    if (t == 1) {
+      // A Radon point certifies level 1 by construction (disjoint parts).
+      if (auto rp = radon_point(points)) safe.push_back(std::move(*rp));
+    }
+    const std::vector<double> med = coordinate_median(points);
+    const std::vector<double> mean = centroid(points);
+    for (const std::vector<double>* cand : {&med, &trimmed, &mean}) {
+      const int level = removal_robustness(*cand, points, t, opts);
+      if (cand == &trimmed) trimmed_level = level;
+      if (level == static_cast<int>(t)) safe.push_back(*cand);
+    }
+  }
+
+  if (!safe.empty()) {
+    return {centroid(safe), t, true};
+  }
+  // Safe area empty or out of reach (m < (d+2)t + 1 makes it generically
+  // empty): outlier-trimmed centroid, reporting the robustness it measured.
+  return {trimmed, static_cast<std::uint32_t>(std::max(0, trimmed_level)), false};
+}
+
+}  // namespace apxa::geom

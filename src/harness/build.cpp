@@ -6,6 +6,7 @@
 #include "common/ensure.hpp"
 #include "core/async_byz.hpp"
 #include "core/codec.hpp"
+#include "core/convex_aa.hpp"
 #include "sched/clique_scheduler.hpp"
 #include "sched/crash_timing_scheduler.hpp"
 #include "sched/fifo_scheduler.hpp"
@@ -18,7 +19,8 @@ namespace apxa::harness {
 void validate(const RunConfig& cfg) {
   const auto n = cfg.params.n;
   APXA_ENSURE(cfg.protocol != ProtocolKind::kVectorCrash &&
-                  cfg.protocol != ProtocolKind::kVectorByz,
+                  cfg.protocol != ProtocolKind::kVectorByz &&
+                  cfg.protocol != ProtocolKind::kVectorConvex,
               "vector protocols take a VectorRunConfig");
   APXA_ENSURE(cfg.inputs.size() == n, "inputs must have size n");
   APXA_ENSURE(cfg.allow_excess_faults ||
@@ -120,6 +122,7 @@ std::vector<std::unique_ptr<net::Process>> build_processes(
       }
       case ProtocolKind::kVectorCrash:
       case ProtocolKind::kVectorByz:
+      case ProtocolKind::kVectorConvex:
         APXA_ENSURE(false, "vector protocols take a VectorRunConfig");
     }
   }
@@ -139,8 +142,12 @@ void stage(const RunConfig& cfg, const core::TraceFn& trace,
 void validate(const VectorRunConfig& cfg) {
   const auto n = cfg.params.n;
   APXA_ENSURE(cfg.protocol == ProtocolKind::kVectorCrash ||
-                  cfg.protocol == ProtocolKind::kVectorByz,
+                  cfg.protocol == ProtocolKind::kVectorByz ||
+                  cfg.protocol == ProtocolKind::kVectorConvex,
               "VectorRunConfig takes a vector protocol kind");
+  APXA_ENSURE(cfg.protocol != ProtocolKind::kVectorConvex ||
+                  (cfg.params.n > 3 * cfg.params.t && cfg.params.t >= 1),
+              "kVectorConvex requires n > 3t, t >= 1");
   APXA_ENSURE(cfg.dim >= 1, "dimension must be positive");
   APXA_ENSURE(cfg.inputs.size() == n, "inputs must have n rows");
   for (const auto& row : cfg.inputs) {
@@ -185,6 +192,18 @@ std::vector<std::unique_ptr<net::Process>> build_processes(
       const auto it = std::find_if(cfg.byz.begin(), cfg.byz.end(),
                                    [p](const auto& b) { return b.who == p; });
       procs.push_back(std::make_unique<adversary::ByzVectorProcess>(*it, cfg.dim));
+      continue;
+    }
+    if (cfg.protocol == ProtocolKind::kVectorConvex) {
+      // Safe-area averaging (geom/safe_area.hpp): convex validity instead of
+      // the box-only guarantee of per-coordinate laundering.
+      core::ConvexAaConfig cc;
+      cc.params = cfg.params;
+      cc.dim = cfg.dim;
+      cc.input = cfg.inputs[p];
+      cc.fixed_rounds = cfg.fixed_rounds;
+      cc.trace = trace;
+      procs.push_back(std::make_unique<core::ConvexVectorProcess>(cc));
       continue;
     }
     core::VectorAaConfig pc;

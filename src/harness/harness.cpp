@@ -11,6 +11,7 @@
 #include "exec/sim_backend.hpp"
 #include "exec/thread_backend.hpp"
 #include "geom/geom.hpp"
+#include "geom/safe_area.hpp"
 #include "harness/build.hpp"
 
 namespace apxa::harness {
@@ -150,6 +151,15 @@ VectorRunReport execute(const VectorRunConfig& cfg, exec::Backend& backend) {
   rep.box_validity_ok =
       std::all_of(rep.outputs.begin(), rep.outputs.end(),
                   [&box](const std::vector<double>& y) { return box.contains(y); });
+
+  // Convex-hull validity (LP point-in-hull test, geom/safe_area.hpp) on
+  // EVERY vector run: the guarantee kVectorConvex targets, and on
+  // kVectorCrash/kVectorByz the diagnostic that quantifies how often
+  // box-valid outputs escape the honest hull (bench/f6_multidim).
+  for (const auto& y : rep.outputs) {
+    if (!geom::in_convex_hull(y, honest_inputs)) ++rep.outputs_outside_hull;
+  }
+  rep.convex_validity_ok = rep.outputs_outside_hull == 0;
 
   rep.worst_linf_gap = geom::linf_spread(rep.outputs);
   rep.worst_l2_gap = geom::l2_spread(rep.outputs);

@@ -40,7 +40,8 @@ RunReport run_async(const RunConfig& cfg);
 RunReport run_threaded(const RunConfig& cfg);
 
 // --- vector scenarios -------------------------------------------------------
-// The same entry points for vector-valued (R^d) runs: box-validity and
+// The same entry points for vector-valued (R^d) runs: box-validity,
+// convex-hull-validity (LP point-in-hull test, geom/safe_area.hpp) and
 // L-infinity eps-agreement verdicts, per-round L-infinity spread traces,
 // identical on every backend.
 

@@ -33,6 +33,7 @@ enum class ProtocolKind : std::uint8_t {
   kWitness,      ///< AAD'04 witness technique (t < n/3)
   kVectorCrash,  ///< coordinate-wise R^d rounds (crash model) — VectorRunConfig
   kVectorByz,    ///< coordinate-wise R^d laundering (box validity only) — VectorRunConfig
+  kVectorConvex, ///< safe-area R^d averaging (convex validity, n > 3t) — VectorRunConfig
 };
 
 enum class SchedKind : std::uint8_t {
@@ -93,14 +94,17 @@ struct RunReport {
 // The coordinate-wise extension of the round protocol as a first-class
 // scenario: same schedulers, adversaries and backends as the scalar path,
 // with verdicts stated in the geometry the literature uses — BOX validity
-// (the bounding box of the non-byzantine inputs) and L-infinity
-// eps-agreement.  kVectorByz launders per coordinate (reduce-based rule), so
-// its validity guarantee is the box, NOT the convex hull, of the honest
-// inputs; see the caveat in core/multidim.hpp and geom/geom.hpp.
+// (the bounding box of the non-byzantine inputs), CONVEX-HULL validity (the
+// LP point-in-hull test of geom/safe_area.hpp, reported as a diagnostic on
+// every vector run) and L-infinity eps-agreement.  kVectorByz launders per
+// coordinate (reduce-based rule), so its validity guarantee is the box, NOT
+// the convex hull, of the honest inputs; kVectorConvex averages through the
+// Mendes-Herlihy/Vaidya-Garg safe area (core/convex_aa.hpp) and targets
+// convex validity.  See the caveats in core/multidim.hpp and geom/geom.hpp.
 
 struct VectorRunConfig {
   SystemParams params;
-  ProtocolKind protocol = ProtocolKind::kVectorCrash;  ///< kVectorCrash / kVectorByz
+  ProtocolKind protocol = ProtocolKind::kVectorCrash;  ///< kVectorCrash / kVectorByz / kVectorConvex
   std::uint32_t dim = 2;
   /// Per-coordinate averaging rule.  kVectorByz overrides this with the
   /// byzantine-safe DLPSW rule, mirroring the scalar kByzRound path.
@@ -125,6 +129,13 @@ struct VectorRunReport {
   bool all_output = false;
   std::vector<std::vector<double>> outputs;  ///< correct parties' vectors
   bool box_validity_ok = false;   ///< outputs inside the honest-input box
+  /// Outputs inside the CONVEX HULL of the honest inputs (LP point-in-hull
+  /// test, geom/safe_area.hpp).  Reported for every vector protocol: it is
+  /// the guarantee kVectorConvex targets and the diagnostic that quantifies
+  /// how often kVectorByz's box-valid outputs escape the honest hull.
+  bool convex_validity_ok = false;
+  /// How many correct outputs lie outside that hull (0 when convex-valid).
+  std::uint32_t outputs_outside_hull = 0;
   double worst_linf_gap = 0.0;    ///< worst pairwise L-infinity distance
   double worst_l2_gap = 0.0;      ///< worst pairwise L2 distance (<= sqrt(d) * linf)
   bool agreement_ok = false;      ///< worst_linf_gap <= eps

@@ -31,7 +31,8 @@ Round budget_for(const Case& c, double M, double eps) {
                                               predicted_factor_witness()));
     case ProtocolKind::kVectorCrash:
     case ProtocolKind::kVectorByz:
-      break;  // vector protocols are exercised by vector_parity_test
+    case ProtocolKind::kVectorConvex:
+      break;  // vector protocols are exercised by vector/convex parity tests
   }
   return 1;
 }
