@@ -23,7 +23,17 @@
 //                            safe-area averaging (geom/safe_area.hpp) does not;
 //   convex_latency_vs_dim  — what convex validity costs: rounds, messages and
 //                            finish time of kVectorByz vs kVectorConvex as d
-//                            grows, on both backends.
+//                            grows, on both backends;
+//   convex_rb_vs_quorum    — what view equalization costs and buys: the SAME
+//                            equivocation attacker against quorum-collect
+//                            kVectorConvex vs RB-collect kVectorConvexRB
+//                            (core/collect.hpp) on both backends.  Quorum
+//                            collect lets the equivocator split honest views
+//                            below the n - t overlap bound; the RB + witness
+//                            collect keeps the bound, converges within the
+//                            pinned round budget, and pays Theta(n^3)
+//                            messages per round for it (the rb/report phase
+//                            columns, from net::Metrics::sent_by_tag).
 #include <algorithm>
 #include <cstdio>
 #include <map>
@@ -333,6 +343,83 @@ int main(int argc, char** argv) {
         cp.n, cp.t);
     tab.print();
     sink.add_table("convex_latency_vs_dimension", tab);
+  }
+
+  // --- view equalization: convex quorum-collect vs RB-collect --------------
+  //
+  // t equivocators per run, values inside the honest range (the nastiest
+  // placement for view overlap: nothing to trim, every forged value is
+  // plausible).  Configs sit in the certified safe-area regime for the view
+  // size m = n - t (m >= (d+2)t + 1), where equalized safe-midpoint
+  // averaging contracts at the textbook rate.
+  {
+    struct Cfg {
+      std::uint32_t n, t, d;
+    };
+    const std::vector<Cfg> sweep{{7, 1, 2}, {11, 2, 2}, {8, 1, 3}};
+    const Round budget = 16;
+    struct Cell {
+      const char* proto;
+      const char* backend;
+      Cfg c;
+      std::size_t grid_index = 0;  ///< into sim_grid or thread_grid
+    };
+    std::vector<Cell> cells;
+    std::vector<VectorRunConfig> sim_grid, thread_grid;
+    for (const bool rb : {false, true}) {
+      for (const Cfg& c : sweep) {
+        VectorRunConfig cfg;
+        cfg.params = {c.n, c.t};
+        cfg.protocol = rb ? harness::ProtocolKind::kVectorConvexRB
+                          : harness::ProtocolKind::kVectorConvex;
+        cfg.dim = c.d;
+        cfg.epsilon = eps;
+        cfg.fixed_rounds = budget;
+        Rng rng(500 + c.n * 97 + c.t * 13 + c.d);
+        cfg.inputs = harness::random_vector_inputs(rng, c.n, c.d, -5.0, 5.0);
+        for (std::uint32_t b = 0; b < c.t; ++b) {
+          adversary::ByzSpec s;
+          s.who = b;
+          s.kind = adversary::ByzKind::kEquivocate;
+          s.lo = -5.0;
+          s.hi = 5.0;
+          s.seed = b + 1;
+          cfg.byz.push_back(s);
+        }
+        cfg.backend = BackendKind::kSim;
+        cells.push_back({rb ? "rb" : "quorum", "sim", c, sim_grid.size()});
+        sim_grid.push_back(cfg);
+        cfg.backend = BackendKind::kThread;
+        cells.push_back({rb ? "rb" : "quorum", "thread", c, thread_grid.size()});
+        thread_grid.push_back(std::move(cfg));
+      }
+    }
+    const auto sim_reports = harness::run_many(sim_grid);
+    const auto thread_reports = harness::run_many(thread_grid, {.workers = 1});
+
+    bench::Table tab({"protocol", "backend", "n", "t", "d", "rounds_to_eps",
+                      "msgs", "rb_msgs", "reports", "overlap_min", "overlap_ok",
+                      "convex_valid", "linf_gap"});
+    for (const auto& cell : cells) {
+      const auto& rep = cell.backend[0] == 's' ? sim_reports[cell.grid_index]
+                                               : thread_reports[cell.grid_index];
+      tab.add_row(
+          {cell.proto, cell.backend, std::to_string(cell.c.n),
+           std::to_string(cell.c.t), std::to_string(cell.c.d),
+           rep.reached_eps ? std::to_string(rep.rounds_to_eps) : "never",
+           bench::fmt_u(rep.metrics.messages_sent),
+           bench::fmt_u(rep.msgs_rb_send + rep.msgs_rb_echo + rep.msgs_rb_ready),
+           bench::fmt_u(rep.msgs_report), std::to_string(rep.view_overlap_min),
+           rep.view_overlap_ok ? "yes" : "NO",
+           rep.convex_validity_ok ? "yes" : "NO",
+           bench::fmt_sci(rep.worst_linf_gap)});
+    }
+    std::printf(
+        "\nview equalization: convex quorum-collect vs RB-collect under t\n"
+        "equivocators (eps = 1e-3, %u-round budget; overlap bound n - t):\n",
+        budget);
+    tab.print();
+    sink.add_table("convex_rb_vs_quorum", tab);
   }
 
   std::printf(

@@ -84,9 +84,11 @@ void ByzRoundProcess::emit_round(net::Context& ctx, Round r) {
   }
 }
 
-ByzVectorProcess::ByzVectorProcess(ByzSpec spec, std::uint32_t dim)
+ByzVectorProcess::ByzVectorProcess(ByzSpec spec, std::uint32_t dim,
+                                   VectorWire wire)
     : spec_(spec),
       dim_(dim),
+      wire_(wire),
       rng_(spec.seed),
       seen_lo_(dim, 0.0),
       seen_hi_(dim, 0.0) {}
@@ -95,20 +97,48 @@ void ByzVectorProcess::on_start(net::Context& ctx) { emit_round(ctx, 0); }
 
 void ByzVectorProcess::on_message(net::Context& ctx, ProcessId from,
                                   BytesView payload) {
-  const auto m = core::decode_vec_round(payload);
-  if (!m || m->second.size() != dim_) return;
+  // Learn rounds and per-coordinate extremes from whichever wire the
+  // protocol uses: direct vector rounds, or any phase of vector RB (whose
+  // instance tag IS the round, and whose echoes/readies relay honest values
+  // just as well as sends do).
+  Round round = 0;
+  std::vector<double> vec;
+  bool learn_value = false;
+  if (const auto m = core::decode_vec_round(payload)) {
+    round = m->first;
+    vec = m->second;
+    learn_value = true;
+  } else if (auto rb = core::decode_rb_vec(payload)) {
+    round = rb->instance;
+    vec = std::move(rb->value);
+    // Learn values only from the origin's own authenticated SEND — exactly
+    // the visibility the direct wire gives.  Echoes/readies relay forged
+    // values (our own, and other attackers'); folding those into the
+    // observed extremes would let spoofing attackers amplify themselves and
+    // one another round over round.  Rounds are still learned from any
+    // phase below.
+    learn_value = rb->type == core::MsgType::kRbVecSend && rb->origin == from;
+  } else {
+    return;
+  }
+  if (vec.size() != dim_) return;
+  if (!learn_value) {
+    emit_round(ctx, round);
+    emit_round(ctx, round + 1);
+    return;
+  }
   for (std::uint32_t c = 0; c < dim_; ++c) {
     if (!seen_any_) {
-      seen_lo_[c] = seen_hi_[c] = m->second[c];
+      seen_lo_[c] = seen_hi_[c] = vec[c];
     } else {
-      seen_lo_[c] = std::min(seen_lo_[c], m->second[c]);
-      seen_hi_[c] = std::max(seen_hi_[c], m->second[c]);
+      seen_lo_[c] = std::min(seen_lo_[c], vec[c]);
+      seen_hi_[c] = std::max(seen_hi_[c], vec[c]);
     }
   }
   seen_any_ = true;
   senders_seen_.insert(from);
-  emit_round(ctx, m->first);
-  emit_round(ctx, m->first + 1);
+  emit_round(ctx, round);
+  emit_round(ctx, round + 1);
 }
 
 void ByzVectorProcess::emit_round(net::Context& ctx, Round r) {
@@ -168,7 +198,15 @@ void ByzVectorProcess::emit_round(net::Context& ctx, Round r) {
         }
       }
     }
-    ctx.send(to, core::encode_vec_round(r, v));
+    if (wire_ == VectorWire::kRbVec) {
+      // Per-receiver RB SENDs: the same equivocation power on the wire, but
+      // Bracha's echo quorums resolve at most one of these values (or none)
+      // — the property the equalized collect layer exists to provide.
+      ctx.send(to, core::encode_rb_vec(core::RbVecMsg{
+                       core::MsgType::kRbVecSend, r, ctx.self(), v}));
+    } else {
+      ctx.send(to, core::encode_vec_round(r, v));
+    }
   }
 }
 

@@ -87,15 +87,34 @@ class ByzRoundProcess final : public net::Process {
   std::set<ProcessId> senders_seen_;  ///< distinct senders; gates hull-escape
 };
 
-/// Attacker for the vector (R^d) round protocol: the same strategies applied
-/// per coordinate over the vector wire format.  kEquivocate/kSpoiler send the
-/// low corner to the LOW camp and the high corner to the HIGH camp (the
+/// Which wire format a vector attacker speaks — i.e. which collect layer it
+/// attacks (core/collect.hpp).
+enum class VectorWire : std::uint8_t {
+  /// Direct per-receiver vector rounds (core::encode_vec_round): the traffic
+  /// of quorum collect (kVectorCrash/kVectorByz/kVectorConvex).  Per-receiver
+  /// sends grant full equivocation power — each honest view can hold a
+  /// DIFFERENT forged point.
+  kDirect,
+  /// Vector RB SENDs (core::encode_rb_vec): the traffic of the equalized
+  /// collect (kVectorConvexRB).  The attacker equivocates its SENDs
+  /// per-receiver exactly as in kDirect — but Bracha either resolves ONE of
+  /// the values consistently everywhere or delivers none at all, so the
+  /// equivocation that splits quorum-collected views is structurally
+  /// neutralized.  The attacker stays silent in other parties' RB instances
+  /// (it contributes no echoes/readies).
+  kRbVec,
+};
+
+/// Attacker for the vector (R^d) round protocols: the same strategies applied
+/// per coordinate over the configured wire format.  kEquivocate/kSpoiler send
+/// the low corner to the LOW camp and the high corner to the HIGH camp (the
 /// spoiler shoots past the per-coordinate observed extremes); kNoise draws
 /// every coordinate independently.  Coordinate-wise laundering (reduce_t per
 /// column) confines these to BOX validity only — see core/multidim.hpp.
 class ByzVectorProcess final : public net::Process {
  public:
-  ByzVectorProcess(ByzSpec spec, std::uint32_t dim);
+  ByzVectorProcess(ByzSpec spec, std::uint32_t dim,
+                   VectorWire wire = VectorWire::kDirect);
 
   void on_start(net::Context& ctx) override;
   void on_message(net::Context& ctx, ProcessId from, BytesView payload) override;
@@ -105,6 +124,7 @@ class ByzVectorProcess final : public net::Process {
 
   ByzSpec spec_;
   std::uint32_t dim_;
+  VectorWire wire_;
   Rng rng_;
   std::set<Round> emitted_;
   std::vector<double> seen_lo_, seen_hi_;  // per-coordinate observed extremes

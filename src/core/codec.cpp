@@ -13,10 +13,17 @@ bool type_in(MsgType t, std::initializer_list<MsgType> set) {
 
 }  // namespace
 
+// Decoders are TOTAL: every byte sequence yields a message or nullopt,
+// never an exception.  They run on raw network input inside honest parties'
+// message loops (and scheduler probes), where a byzantine peer controls the
+// bytes — a truncated frame that threw would crash every correct process.
+// detail::total_decode (codec.hpp) translates ByteReader overruns.
+using detail::total_decode;
+
 std::optional<MsgType> peek_type(BytesView payload) {
   if (payload.empty()) return std::nullopt;
   const auto raw = static_cast<std::uint8_t>(payload[0]);
-  if (raw < 1 || raw > 6) return std::nullopt;
+  if (raw < 1 || raw > 10) return std::nullopt;
   return static_cast<MsgType>(raw);
 }
 
@@ -31,14 +38,16 @@ Bytes encode_round(const RoundMsg& m) {
 
 std::optional<RoundMsg> decode_round(BytesView payload) {
   if (peek_type(payload) != MsgType::kRound) return std::nullopt;
-  ByteReader r(payload);
-  r.get_u8();
-  RoundMsg m;
-  m.round = static_cast<Round>(r.get_varint());
-  m.value = r.get_f64();
-  m.budget = static_cast<std::uint32_t>(r.get_varint());
-  if (!r.done()) return std::nullopt;
-  return m;
+  return total_decode([&]() -> std::optional<RoundMsg> {
+    ByteReader r(payload);
+    r.get_u8();
+    RoundMsg m;
+    m.round = static_cast<Round>(r.get_varint());
+    m.value = r.get_f64();
+    m.budget = static_cast<std::uint32_t>(r.get_varint());
+    if (!r.done()) return std::nullopt;
+    return m;
+  });
 }
 
 Bytes encode_done(const DoneMsg& m) {
@@ -51,13 +60,15 @@ Bytes encode_done(const DoneMsg& m) {
 
 std::optional<DoneMsg> decode_done(BytesView payload) {
   if (peek_type(payload) != MsgType::kDone) return std::nullopt;
-  ByteReader r(payload);
-  r.get_u8();
-  DoneMsg m;
-  m.round = static_cast<Round>(r.get_varint());
-  m.value = r.get_f64();
-  if (!r.done()) return std::nullopt;
-  return m;
+  return total_decode([&]() -> std::optional<DoneMsg> {
+    ByteReader r(payload);
+    r.get_u8();
+    DoneMsg m;
+    m.round = static_cast<Round>(r.get_varint());
+    m.value = r.get_f64();
+    if (!r.done()) return std::nullopt;
+    return m;
+  });
 }
 
 Bytes encode_rb(const RbMsg& m) {
@@ -74,15 +85,17 @@ std::optional<RbMsg> decode_rb(BytesView payload) {
   if (!t || !type_in(*t, {MsgType::kRbSend, MsgType::kRbEcho, MsgType::kRbReady})) {
     return std::nullopt;
   }
-  ByteReader r(payload);
-  r.get_u8();
-  RbMsg m;
-  m.type = *t;
-  m.instance = static_cast<std::uint32_t>(r.get_varint());
-  m.origin = static_cast<ProcessId>(r.get_varint());
-  m.value = r.get_f64();
-  if (!r.done()) return std::nullopt;
-  return m;
+  return total_decode([&]() -> std::optional<RbMsg> {
+    ByteReader r(payload);
+    r.get_u8();
+    RbMsg m;
+    m.type = *t;
+    m.instance = static_cast<std::uint32_t>(r.get_varint());
+    m.origin = static_cast<ProcessId>(r.get_varint());
+    m.value = r.get_f64();
+    if (!r.done()) return std::nullopt;
+    return m;
+  });
 }
 
 Bytes encode_report(const ReportMsg& m) {
@@ -95,13 +108,49 @@ Bytes encode_report(const ReportMsg& m) {
 
 std::optional<ReportMsg> decode_report(BytesView payload) {
   if (peek_type(payload) != MsgType::kReport) return std::nullopt;
-  ByteReader r(payload);
-  r.get_u8();
-  ReportMsg m;
-  m.iter = static_cast<std::uint32_t>(r.get_varint());
-  m.have = r.get_bits();
-  if (!r.done()) return std::nullopt;
-  return m;
+  return total_decode([&]() -> std::optional<ReportMsg> {
+    ByteReader r(payload);
+    r.get_u8();
+    ReportMsg m;
+    m.iter = static_cast<std::uint32_t>(r.get_varint());
+    m.have = r.get_bits();
+    if (!r.done()) return std::nullopt;
+    return m;
+  });
+}
+
+Bytes encode_rb_vec(const RbVecMsg& m) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(m.type));
+  w.put_varint(m.instance);
+  w.put_varint(m.origin);
+  w.put_varint(m.value.size());
+  for (double x : m.value) w.put_f64(x);
+  return std::move(w).take();
+}
+
+std::optional<RbVecMsg> decode_rb_vec(BytesView payload) {
+  const auto t = peek_type(payload);
+  if (!t || !type_in(*t, {MsgType::kRbVecSend, MsgType::kRbVecEcho,
+                          MsgType::kRbVecReady})) {
+    return std::nullopt;
+  }
+  return total_decode([&]() -> std::optional<RbVecMsg> {
+    ByteReader r(payload);
+    r.get_u8();
+    RbVecMsg m;
+    m.type = *t;
+    m.instance = static_cast<std::uint32_t>(r.get_varint());
+    m.origin = static_cast<ProcessId>(r.get_varint());
+    const std::uint64_t dim = r.get_varint();
+    if (dim == 0 || dim > (1u << 16) || r.remaining() != 8 * dim) {
+      return std::nullopt;
+    }
+    m.value.resize(dim);
+    for (std::uint64_t c = 0; c < dim; ++c) m.value[c] = r.get_f64();
+    if (!r.done()) return std::nullopt;
+    return m;
+  });
 }
 
 sched::ProbeFn round_probe() {

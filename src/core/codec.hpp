@@ -3,14 +3,29 @@
 // All protocols share a single tagged encoding so that schedulers, probes and
 // metrics can reason about traffic uniformly:
 //
-//   ROUND  : round-based value exchange   [tag][round varint][value f64][budget varint]
-//   DONE   : frozen-value announcement    [tag][round varint][value f64]
-//   RB_*   : Bracha reliable broadcast    [tag][instance varint][origin varint][value f64]
-//   REPORT : AAD'04 witness report        [tag][iter varint][bitset of delivered origins]
+//   ROUND   : round-based value exchange   [tag][round varint][value f64][budget varint]
+//   DONE    : frozen-value announcement    [tag][round varint][value f64]
+//   RB_*    : Bracha reliable broadcast    [tag][instance varint][origin varint][value f64]
+//   REPORT  : witness report (AAD'04 and   [tag][iter varint][bitset of delivered origins]
+//             the equalized collect layer)
+//   VEC     : vector round exchange        [tag][round varint][dim varint][f64 x dim][budget varint]
+//             (encode_vec_round, multidim.hpp)
+//   RBVEC_* : Bracha RB, vector payload    [tag][instance varint][origin varint][dim varint][f64 x dim]
+//             (rb::VecBrachaHub, the transport of the equalized collect layer)
 //
 // The `budget` field of ROUND carries the sender's current round budget in
 // the adaptive-termination mode (0 when unused) — budgets piggyback on value
 // traffic instead of costing extra messages.
+//
+// Every format starts [tag][round-or-instance varint], which is what lets
+// net::Metrics attribute per-phase and per-round message counts without
+// knowing the protocols (see net/metrics.hpp).
+//
+// All decoders are TOTAL: any byte sequence — including truncated or
+// overlong frames forged by byzantine peers — decodes to a message or
+// nullopt, never an exception.  They run on raw network input inside honest
+// parties' message loops, where throwing would turn one malformed message
+// into a crash of every correct process.
 #pragma once
 
 #include <optional>
@@ -28,6 +43,10 @@ enum class MsgType : std::uint8_t {
   kRbEcho = 4,
   kRbReady = 5,
   kReport = 6,
+  kVecRound = 7,    ///< encoded by core::encode_vec_round (multidim.hpp)
+  kRbVecSend = 8,
+  kRbVecEcho = 9,
+  kRbVecReady = 10,
 };
 
 struct RoundMsg {
@@ -53,6 +72,33 @@ struct ReportMsg {
   std::vector<bool> have;  ///< have[j] == RB-delivered origin j's value this iter
 };
 
+/// Bracha RB message carrying a full R^d point — the wire format of
+/// rb::VecBrachaHub and hence of the equalized collect layer
+/// (core/collect.hpp).  Mirrors RbMsg with a vector payload.
+struct RbVecMsg {
+  MsgType type = MsgType::kRbVecSend;  ///< kRbVecSend / kRbVecEcho / kRbVecReady
+  std::uint32_t instance = 0;          ///< protocol-level instance tag (round)
+  ProcessId origin = kNoProcess;       ///< original broadcaster
+  std::vector<double> value;
+};
+
+namespace detail {
+
+/// Shared implementation guard for wire decoders: runs `decode` and maps a
+/// ByteReader overrun (std::invalid_argument) to nullopt, making the
+/// decoder total over byzantine-forgeable input.  Internal to the codec
+/// layer (core/codec.cpp and the vec-round codec in core/multidim.cpp).
+template <class F>
+auto total_decode(F&& decode) -> decltype(decode()) {
+  try {
+    return decode();
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace detail
+
 /// Peek at the type tag without decoding; nullopt on empty payload.
 std::optional<MsgType> peek_type(BytesView payload);
 
@@ -67,6 +113,9 @@ std::optional<RbMsg> decode_rb(BytesView payload);
 
 Bytes encode_report(const ReportMsg& m);
 std::optional<ReportMsg> decode_report(BytesView payload);
+
+Bytes encode_rb_vec(const RbVecMsg& m);
+std::optional<RbVecMsg> decode_rb_vec(BytesView payload);
 
 /// Scheduler probe that exposes ROUND messages' (round, value) to value-aware
 /// adversaries.  Works for every round-based protocol in the library.

@@ -1,6 +1,5 @@
 #include "core/convex_aa.hpp"
 
-#include <algorithm>
 #include <utility>
 
 #include "common/ensure.hpp"
@@ -13,40 +12,11 @@ ConvexVectorProcess::ConvexVectorProcess(ConvexAaConfig cfg) : cfg_(std::move(cf
   APXA_ENSURE(cfg_.dim >= 1, "dimension must be positive");
   APXA_ENSURE(cfg_.input.size() == cfg_.dim, "input must have `dim` coordinates");
   value_ = cfg_.input;
-}
-
-void ConvexVectorProcess::maybe_freeze(Slot& s) const {
-  if (!s.frozen && s.own_added && s.values.size() >= cfg_.params.quorum()) {
-    s.frozen = true;
-  }
-}
-
-void ConvexVectorProcess::add_own(Round r, const std::vector<double>& v) {
-  Slot& s = slots_[r];
-  APXA_ASSERT(!s.own_added, "own vector added twice");
-  s.own_added = true;
-  s.values.push_back(v);
-  s.contributors.push_back(kNoProcess);
-  maybe_freeze(s);
-}
-
-void ConvexVectorProcess::add_remote(ProcessId from, Round r,
-                                     std::vector<double> v) {
-  Slot& s = slots_[r];
-  if (s.frozen || v.size() != cfg_.dim) return;
-  // One point per sender per round: sender-authenticated channels cap the
-  // byzantine mass of any frozen view at t entries, which is precisely what
-  // the safe-area rule tolerates.
-  if (std::find(s.contributors.begin(), s.contributors.end(), from) !=
-      s.contributors.end()) {
-    return;
-  }
-  const std::size_t cap =
-      s.own_added ? cfg_.params.quorum() : cfg_.params.quorum() - 1;
-  if (s.values.size() >= cap) return;
-  s.values.push_back(std::move(v));
-  s.contributors.push_back(from);
-  maybe_freeze(s);
+  collector_ = make_collector(
+      cfg_.collect, cfg_.params, cfg_.dim, cfg_.fixed_rounds,
+      [this](net::Context& ctx, Round r, const std::vector<CollectEntry>& view) {
+        on_view(ctx, r, view);
+      });
 }
 
 void ConvexVectorProcess::on_start(net::Context& ctx) {
@@ -57,61 +27,65 @@ void ConvexVectorProcess::on_start(net::Context& ctx) {
     return;
   }
   begin_round(ctx);
-  try_advance(ctx);
 }
 
 void ConvexVectorProcess::begin_round(net::Context& ctx) {
   if (cfg_.trace) cfg_.trace(self_, round_, value_);
-  add_own(round_, value_);
-  ctx.multicast(encode_vec_round(round_, value_));
+  collector_->begin_round(ctx, round_, value_);
 }
 
 void ConvexVectorProcess::on_message(net::Context& ctx, ProcessId from,
                                      BytesView payload) {
-  if (done_) return;
-  auto m = decode_vec_round(payload);
-  if (!m) return;
-  add_remote(from, m->first, std::move(m->second));
-  try_advance(ctx);
+  if (done_) {
+    // The equalized engine must keep serving the reliable-broadcast layer
+    // after we output: laggards' RB instances need our echoes/readies for
+    // totality (quorum mode has no such obligation).
+    if (collector_->serve_when_done()) collector_->handle(ctx, from, payload);
+    return;
+  }
+  collector_->handle(ctx, from, payload);
 }
 
-std::vector<std::uint8_t> ConvexVectorProcess::trusted_mask(const Slot& s) const {
+std::vector<std::uint8_t> ConvexVectorProcess::trusted_mask(
+    const std::vector<CollectEntry>& view) const {
   // My own entry, and any echo of it: a byzantine copy of my honest value is
   // still my honest value, so keeping it cannot move an average outside the
   // honest hull.  Guarantees the certified core of geom::trimmed_centroid is
   // never empty — in particular at zero view slack (n = 3t + 1, views of
-  // 2t + 1), where the rule degrades to the certified-honest average.
-  std::vector<std::uint8_t> trusted(s.values.size(), 0);
-  for (std::size_t i = 0; i < s.values.size(); ++i) {
-    if (s.contributors[i] == kNoProcess ||
-        geom::same_point(s.values[i], value_)) {
+  // 2t + 1), where the rule degrades to the certified-honest average.  Both
+  // collect engines guarantee the own entry is present in the frozen view.
+  std::vector<std::uint8_t> trusted(view.size(), 0);
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    if (view[i].origin == self_ || geom::same_point(view[i].value, value_)) {
       trusted[i] = 1;
     }
   }
   return trusted;
 }
 
-void ConvexVectorProcess::try_advance(net::Context& ctx) {
-  while (!done_ && slots_[round_].frozen) {
-    const Slot& s = slots_[round_];
-    const std::vector<std::uint8_t> trusted = trusted_mask(s);
-    const geom::SafePoint next =
-        geom::safe_midpoint(s.values, cfg_.params.t, cfg_.safe_area, trusted);
-    if (next.exact) {
-      ++exact_rounds_;
-    } else {
-      ++fallback_rounds_;
-    }
-    value_ = next.point;
-    ++round_;
-    slots_.erase(slots_.begin(), slots_.lower_bound(round_));
-    if (round_ >= cfg_.fixed_rounds) {
-      if (cfg_.trace) cfg_.trace(self_, round_, value_);
-      done_ = true;
-      return;
-    }
-    begin_round(ctx);
+void ConvexVectorProcess::on_view(net::Context& ctx, Round r,
+                                  const std::vector<CollectEntry>& view) {
+  APXA_ASSERT(!done_ && r == round_, "view fired for a settled round");
+  if (cfg_.view_trace) cfg_.view_trace(self_, r, view);
+  std::vector<std::vector<double>> points;
+  points.reserve(view.size());
+  for (const CollectEntry& e : view) points.push_back(e.value);
+  const std::vector<std::uint8_t> trusted = trusted_mask(view);
+  const geom::SafePoint next =
+      geom::safe_midpoint(points, cfg_.params.t, cfg_.safe_area, trusted);
+  if (next.exact) {
+    ++exact_rounds_;
+  } else {
+    ++fallback_rounds_;
   }
+  value_ = next.point;
+  ++round_;
+  if (round_ >= cfg_.fixed_rounds) {
+    if (cfg_.trace) cfg_.trace(self_, round_, value_);
+    done_ = true;
+    return;
+  }
+  begin_round(ctx);
 }
 
 }  // namespace apxa::core

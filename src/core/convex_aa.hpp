@@ -4,7 +4,7 @@
 // DLPSW rule, ProtocolKind::kVectorByz) launders per coordinate and so
 // guarantees BOX validity only.  ConvexVectorProcess closes that gap with
 // the Mendes-Herlihy / Vaidya-Garg safe-area construction (geom/safe_area.hpp):
-// each round a party multicasts its vector, collects a validated view of
+// each round a party publishes its vector, assembles a validated view of
 // n - t round-tagged points — at most one per sender per round, so up to t
 // entries of any view are byzantine — and moves to the safe-area midpoint of
 // the view.  A certified safe-area point lies in the hull of the honest
@@ -12,13 +12,22 @@
 // inductive step of CONVEX validity: outputs stay in the convex hull of the
 // honest inputs, not merely their bounding box.
 //
+// How the view is assembled is the collect engine (core/collect.hpp), and
+// it is the difference between the two convex protocol kinds:
+//  - CollectMode::kQuorum (ProtocolKind::kVectorConvex): direct multicast,
+//    first n - t arrivals freeze.  Cheap (Theta(n^2) messages per round),
+//    but a byzantine party may show different values to different honest
+//    parties and honest views can diverge in up to 2t entries; all safety
+//    is carried by the safe-area rule, and the textbook round bounds do NOT
+//    apply — contraction is scheduler- and adversary-dependent.
+//  - CollectMode::kEqualized (ProtocolKind::kVectorConvexRB): values travel
+//    by Bracha reliable broadcast and freezing is gated by a witness phase,
+//    so any two honest round-r views overlap in >= n - t common entries
+//    drawn from one common pool, equivocation is structurally neutralized,
+//    and safe-area midpoint averaging contracts the honest spread at the
+//    Mendes-Herlihy rate.  Cost: Theta(n^3) messages per round.
+//
 // Scope and honesty of the guarantee:
-//  - view equalization: Mendes-Herlihy additionally run their first phase
-//    over reliable broadcast + witnesses so all honest views draw from one
-//    common pool.  Here views are quorum-collected per round (as in the rest
-//    of this codebase); sender-authenticated channels already limit a
-//    byzantine party to one point per honest view per round, and safety
-//    against those <= t points is carried entirely by the safe-area rule.
 //  - dimensionality: the safe area of an m-point view is guaranteed
 //    nonempty only when m >= (d+2)t + 1; past that (large d, small n) the
 //    rule degrades to the outlier-trimmed centroid fallback — anchored on
@@ -26,36 +35,51 @@
 //    values, and degrading to THAT core alone when the view is a degenerate
 //    simplex (m <= d + 1) or has no slack (m = 2t + 1) — and the harness
 //    measures the resulting convex validity instead of assuming it
-//    (VectorRunReport::convex_validity_ok, bench/f6_multidim).
+//    (VectorRunReport::convex_validity_ok, bench/f6_multidim).  Both collect
+//    modes guarantee the frozen view contains the owner's own entry, so the
+//    certified core is never empty.
 //  - resilience: n > 3t (the trimmed fallback needs view slack m > 2t with
-//    m = n - t); the certified regime additionally wants n >= (d+2)t + 1.
+//    m = n - t, and Bracha RB needs it outright); the certified regime
+//    additionally wants n >= (d+2)t + 1.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <vector>
 
 #include "common/ids.hpp"
+#include "core/collect.hpp"
 #include "core/multidim.hpp"
 #include "geom/safe_area.hpp"
 #include "net/process.hpp"
 
 namespace apxa::core {
 
+/// Observation hook for frozen views: (party, round, frozen view entries).
+/// The entry reference is valid only for the duration of the call.  Under a
+/// threaded backend it is invoked concurrently from several worker threads,
+/// so it must be thread-safe.  This is how the harness measures view overlap
+/// between honest parties (VectorRunReport::view_overlap_min).
+using ViewTraceFn =
+    std::function<void(ProcessId, Round, const std::vector<CollectEntry>&)>;
+
 struct ConvexAaConfig {
   SystemParams params;
   std::uint32_t dim = 2;
   std::vector<double> input;  ///< size dim
   Round fixed_rounds = 1;
+  CollectMode collect = CollectMode::kQuorum;
   geom::SafeAreaOptions safe_area;  ///< LP tolerance / enumeration budget
   VecTraceFn trace;                 ///< optional observation hook
+  ViewTraceFn view_trace;           ///< optional frozen-view hook
 };
 
 /// Round-based convex-validity AA process for R^d (fixed-round termination).
-/// Shares the vector wire format (core::encode_vec_round, tag 7) with
-/// VectorAaProcess, so schedulers' value probes and adversary::ByzVectorProcess
-/// attack both protocols identically; only the averaging rule differs.
+/// In quorum-collect mode it shares the vector wire format
+/// (core::encode_vec_round, tag 7) with VectorAaProcess, so schedulers'
+/// value probes and adversary::ByzVectorProcess attack both protocols
+/// identically; in equalized mode the traffic is RBVEC_* + REPORT
+/// (core/codec.hpp) and the attacker equivocates RB SENDs instead.
 class ConvexVectorProcess final : public net::Process {
  public:
   explicit ConvexVectorProcess(ConvexAaConfig cfg);
@@ -75,24 +99,15 @@ class ConvexVectorProcess final : public net::Process {
   [[nodiscard]] std::uint64_t fallback_rounds() const { return fallback_rounds_; }
 
  private:
-  struct Slot {
-    std::vector<std::vector<double>> values;  // arrival order
-    std::vector<ProcessId> contributors;
-    bool own_added = false;
-    bool frozen = false;
-  };
-
   void begin_round(net::Context& ctx);
-  void try_advance(net::Context& ctx);
-  void maybe_freeze(Slot& s) const;
-  void add_own(Round r, const std::vector<double>& v);
-  void add_remote(ProcessId from, Round r, std::vector<double> v);
+  void on_view(net::Context& ctx, Round r, const std::vector<CollectEntry>& view);
   /// geom::TrustedMask for the view: own value and its echoes (see the
   /// comment in the implementation).
-  std::vector<std::uint8_t> trusted_mask(const Slot& s) const;
+  std::vector<std::uint8_t> trusted_mask(
+      const std::vector<CollectEntry>& view) const;
 
   ConvexAaConfig cfg_;
-  std::map<Round, Slot> slots_;
+  std::unique_ptr<Collector> collector_;
   std::vector<double> value_;
   Round round_ = 0;
   bool done_ = false;

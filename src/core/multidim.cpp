@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/ensure.hpp"
+#include "core/codec.hpp"  // detail::total_decode
 #include "geom/geom.hpp"
 #include "harness/harness.hpp"
 
@@ -26,18 +27,24 @@ std::optional<std::pair<Round, std::vector<double>>> decode_vec_round(
   if (payload.empty() || static_cast<std::uint8_t>(payload[0]) != kVecRoundTag) {
     return std::nullopt;
   }
-  ByteReader r(payload);
-  r.get_u8();
-  const auto round = static_cast<Round>(r.get_varint());
-  const auto dim = r.get_varint();
-  if (dim > 1u << 16) return std::nullopt;
-  std::vector<double> v(dim);
-  for (auto& x : v) {
-    if (r.remaining() < 8) return std::nullopt;
-    x = r.get_f64();
-  }
-  if (!r.done()) return std::nullopt;
-  return std::make_pair(round, std::move(v));
+  // Total like the core/codec.cpp decoders: a truncated frame from a
+  // byzantine peer must decode to nullopt, not throw out of an honest
+  // party's message loop.
+  return detail::total_decode(
+      [&]() -> std::optional<std::pair<Round, std::vector<double>>> {
+        ByteReader r(payload);
+        r.get_u8();
+        const auto round = static_cast<Round>(r.get_varint());
+        const auto dim = r.get_varint();
+        if (dim > 1u << 16) return std::nullopt;
+        std::vector<double> v(dim);
+        for (auto& x : v) {
+          if (r.remaining() < 8) return std::nullopt;
+          x = r.get_f64();
+        }
+        if (!r.done()) return std::nullopt;
+        return std::make_pair(round, std::move(v));
+      });
 }
 
 VectorAaProcess::VectorAaProcess(VectorAaConfig cfg) : cfg_(std::move(cfg)) {

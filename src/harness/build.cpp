@@ -20,7 +20,8 @@ void validate(const RunConfig& cfg) {
   const auto n = cfg.params.n;
   APXA_ENSURE(cfg.protocol != ProtocolKind::kVectorCrash &&
                   cfg.protocol != ProtocolKind::kVectorByz &&
-                  cfg.protocol != ProtocolKind::kVectorConvex,
+                  cfg.protocol != ProtocolKind::kVectorConvex &&
+                  cfg.protocol != ProtocolKind::kVectorConvexRB,
               "vector protocols take a VectorRunConfig");
   APXA_ENSURE(cfg.inputs.size() == n, "inputs must have size n");
   APXA_ENSURE(cfg.allow_excess_faults ||
@@ -123,6 +124,7 @@ std::vector<std::unique_ptr<net::Process>> build_processes(
       case ProtocolKind::kVectorCrash:
       case ProtocolKind::kVectorByz:
       case ProtocolKind::kVectorConvex:
+      case ProtocolKind::kVectorConvexRB:
         APXA_ENSURE(false, "vector protocols take a VectorRunConfig");
     }
   }
@@ -143,11 +145,13 @@ void validate(const VectorRunConfig& cfg) {
   const auto n = cfg.params.n;
   APXA_ENSURE(cfg.protocol == ProtocolKind::kVectorCrash ||
                   cfg.protocol == ProtocolKind::kVectorByz ||
-                  cfg.protocol == ProtocolKind::kVectorConvex,
+                  cfg.protocol == ProtocolKind::kVectorConvex ||
+                  cfg.protocol == ProtocolKind::kVectorConvexRB,
               "VectorRunConfig takes a vector protocol kind");
-  APXA_ENSURE(cfg.protocol != ProtocolKind::kVectorConvex ||
+  APXA_ENSURE((cfg.protocol != ProtocolKind::kVectorConvex &&
+               cfg.protocol != ProtocolKind::kVectorConvexRB) ||
                   (cfg.params.n > 3 * cfg.params.t && cfg.params.t >= 1),
-              "kVectorConvex requires n > 3t, t >= 1");
+              "convex vector protocols require n > 3t, t >= 1");
   APXA_ENSURE(cfg.dim >= 1, "dimension must be positive");
   APXA_ENSURE(cfg.inputs.size() == n, "inputs must have n rows");
   for (const auto& row : cfg.inputs) {
@@ -172,37 +176,59 @@ std::set<ProcessId> byzantine_ids(const VectorRunConfig& cfg) {
 }
 
 std::unique_ptr<sched::Scheduler> make_scheduler(const VectorRunConfig& cfg) {
-  // Value-aware probe over the first coordinate of vector rounds.
+  // Value-aware probe over the first coordinate of vector rounds.  In the
+  // equalized-collect protocol values travel as vector RB messages instead,
+  // so the probe reads those too (instance == round) — value-aware
+  // schedulers stay value-aware against kVectorConvexRB.
   auto probe = [](BytesView payload) -> std::optional<sched::ValueProbe> {
-    const auto m = core::decode_vec_round(payload);
-    if (!m || m->second.empty()) return std::nullopt;
-    return sched::ValueProbe{m->first, m->second[0]};
+    if (const auto m = core::decode_vec_round(payload)) {
+      if (m->second.empty()) return std::nullopt;
+      return sched::ValueProbe{m->first, m->second[0]};
+    }
+    if (const auto rb = core::decode_rb_vec(payload)) {
+      if (rb->value.empty()) return std::nullopt;
+      return sched::ValueProbe{rb->instance, rb->value[0]};
+    }
+    return std::nullopt;
   };
   return make_scheduler_impl(cfg.sched, cfg.seed, cfg.params, std::move(probe));
 }
 
 std::vector<std::unique_ptr<net::Process>> build_processes(
-    const VectorRunConfig& cfg, const core::VecTraceFn& trace) {
+    const VectorRunConfig& cfg, const core::VecTraceFn& trace,
+    const core::ViewTraceFn& view_trace) {
   const auto n = cfg.params.n;
   const auto byz = byzantine_ids(cfg);
+  const bool equalized = cfg.protocol == ProtocolKind::kVectorConvexRB;
   std::vector<std::unique_ptr<net::Process>> procs;
   procs.reserve(n);
   for (ProcessId p = 0; p < n; ++p) {
     if (byz.contains(p)) {
       const auto it = std::find_if(cfg.byz.begin(), cfg.byz.end(),
                                    [p](const auto& b) { return b.who == p; });
-      procs.push_back(std::make_unique<adversary::ByzVectorProcess>(*it, cfg.dim));
+      // Against the equalized-collect protocol the attacker speaks the RB
+      // wire (equivocating SENDs that Bracha must neutralize); against every
+      // other vector protocol it speaks direct vector rounds.
+      procs.push_back(std::make_unique<adversary::ByzVectorProcess>(
+          *it, cfg.dim,
+          equalized ? adversary::VectorWire::kRbVec
+                    : adversary::VectorWire::kDirect));
       continue;
     }
-    if (cfg.protocol == ProtocolKind::kVectorConvex) {
+    if (cfg.protocol == ProtocolKind::kVectorConvex ||
+        cfg.protocol == ProtocolKind::kVectorConvexRB) {
       // Safe-area averaging (geom/safe_area.hpp): convex validity instead of
-      // the box-only guarantee of per-coordinate laundering.
+      // the box-only guarantee of per-coordinate laundering.  The collect
+      // engine is the difference between the two kinds (core/collect.hpp).
       core::ConvexAaConfig cc;
       cc.params = cfg.params;
       cc.dim = cfg.dim;
       cc.input = cfg.inputs[p];
       cc.fixed_rounds = cfg.fixed_rounds;
+      cc.collect = equalized ? core::CollectMode::kEqualized
+                             : core::CollectMode::kQuorum;
       cc.trace = trace;
+      cc.view_trace = view_trace;
       procs.push_back(std::make_unique<core::ConvexVectorProcess>(cc));
       continue;
     }
@@ -224,9 +250,9 @@ std::vector<std::unique_ptr<net::Process>> build_processes(
 }
 
 void stage(const VectorRunConfig& cfg, const core::VecTraceFn& trace,
-           exec::Backend& backend) {
+           exec::Backend& backend, const core::ViewTraceFn& view_trace) {
   validate(cfg);
-  for (auto& proc : build_processes(cfg, trace)) {
+  for (auto& proc : build_processes(cfg, trace, view_trace)) {
     backend.add_process(std::move(proc));
   }
   for (ProcessId b : byzantine_ids(cfg)) backend.mark_byzantine(b);

@@ -11,6 +11,7 @@
 #include <set>
 #include <vector>
 
+#include "core/convex_aa.hpp"
 #include "core/multidim.hpp"
 #include "exec/backend.hpp"
 #include "harness/scenario.hpp"
@@ -51,9 +52,14 @@ exec::DonePredicate make_done_predicate(const RunConfig& cfg);
 void validate(const VectorRunConfig& cfg);
 std::set<ProcessId> byzantine_ids(const VectorRunConfig& cfg);
 std::unique_ptr<sched::Scheduler> make_scheduler(const VectorRunConfig& cfg);
+/// `view_trace` additionally observes honest convex parties' frozen views
+/// (core::ViewTraceFn; ignored by the non-convex vector protocols) — the
+/// harness measures view overlap from it.  Same thread-safety contract as
+/// `trace`.
 std::vector<std::unique_ptr<net::Process>> build_processes(
-    const VectorRunConfig& cfg, const core::VecTraceFn& trace);
+    const VectorRunConfig& cfg, const core::VecTraceFn& trace,
+    const core::ViewTraceFn& view_trace = {});
 void stage(const VectorRunConfig& cfg, const core::VecTraceFn& trace,
-           exec::Backend& backend);
+           exec::Backend& backend, const core::ViewTraceFn& view_trace = {});
 
 }  // namespace apxa::harness

@@ -8,6 +8,7 @@
 
 #include "common/ensure.hpp"
 #include "core/bounds.hpp"
+#include "core/codec.hpp"
 #include "exec/sim_backend.hpp"
 #include "exec/thread_backend.hpp"
 #include "geom/geom.hpp"
@@ -125,7 +126,18 @@ VectorRunReport execute(const VectorRunConfig& cfg, exec::Backend& backend) {
     trace[r][p] = v;
   };
 
-  stage(cfg, trace_fn, backend);
+  // Frozen-view trace (convex protocols only): what each honest party's
+  // round-r view actually contained, for the view-overlap verdict.
+  std::map<Round, std::map<ProcessId, std::vector<core::CollectEntry>>> views;
+  std::mutex views_mu;
+  core::ViewTraceFn view_fn =
+      [&views, &views_mu](ProcessId p, Round r,
+                          const std::vector<core::CollectEntry>& view) {
+        std::scoped_lock lock(views_mu);
+        views[r][p] = view;
+      };
+
+  stage(cfg, trace_fn, backend, view_fn);
 
   exec::ExecOptions opts;
   opts.max_deliveries = cfg.max_deliveries;
@@ -181,6 +193,57 @@ VectorRunReport execute(const VectorRunConfig& cfg, exec::Backend& backend) {
     rep.linf_spread_by_round.push_back(geom::linf_spread(vals));
     rep.max_round_reached = std::max(rep.max_round_reached, round);
   }
+  for (std::size_t r = 0; r < rep.linf_spread_by_round.size(); ++r) {
+    if (rep.linf_spread_by_round[r] <= cfg.epsilon + 1e-12) {
+      rep.rounds_to_eps = static_cast<Round>(r);
+      rep.reached_eps = true;
+      break;
+    }
+  }
+
+  // View overlap between correct parties' frozen views (convex protocols
+  // emit the trace; empty otherwise).  Entries match when origin and value
+  // agree bitwise — under the equalized collect two matching entries really
+  // are the same RB delivery.
+  rep.view_overlap_min = n;
+  for (const auto& [round, by_party] : views) {
+    std::vector<const std::vector<core::CollectEntry>*> correct_views;
+    for (const auto& [p, view] : by_party) {
+      if (res.correct[p]) correct_views.push_back(&view);
+    }
+    for (std::size_t a = 0; a < correct_views.size(); ++a) {
+      for (std::size_t b = a + 1; b < correct_views.size(); ++b) {
+        std::uint32_t common = 0;
+        for (const auto& ea : *correct_views[a]) {
+          for (const auto& eb : *correct_views[b]) {
+            if (ea.origin == eb.origin) {
+              if (ea.value == eb.value) ++common;
+              break;
+            }
+          }
+        }
+        rep.view_overlap_measured = true;
+        rep.view_overlap_min = std::min(rep.view_overlap_min, common);
+      }
+    }
+  }
+  rep.view_overlap_ok =
+      rep.view_overlap_measured && rep.view_overlap_min >= cfg.params.quorum();
+  if (!rep.view_overlap_measured) rep.view_overlap_min = 0;
+
+  // Phase attribution from the transport's per-tag counters.
+  const auto& tags = rep.metrics.sent_by_tag;
+  const auto tag = [&tags](core::MsgType t) {
+    return tags[static_cast<std::size_t>(t)];
+  };
+  rep.msgs_value = tag(core::MsgType::kRound) + tag(core::MsgType::kVecRound);
+  rep.msgs_rb_send =
+      tag(core::MsgType::kRbSend) + tag(core::MsgType::kRbVecSend);
+  rep.msgs_rb_echo =
+      tag(core::MsgType::kRbEcho) + tag(core::MsgType::kRbVecEcho);
+  rep.msgs_rb_ready =
+      tag(core::MsgType::kRbReady) + tag(core::MsgType::kRbVecReady);
+  rep.msgs_report = tag(core::MsgType::kReport);
   return rep;
 }
 

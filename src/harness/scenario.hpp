@@ -33,7 +33,14 @@ enum class ProtocolKind : std::uint8_t {
   kWitness,      ///< AAD'04 witness technique (t < n/3)
   kVectorCrash,  ///< coordinate-wise R^d rounds (crash model) — VectorRunConfig
   kVectorByz,    ///< coordinate-wise R^d laundering (box validity only) — VectorRunConfig
-  kVectorConvex, ///< safe-area R^d averaging (convex validity, n > 3t) — VectorRunConfig
+  kVectorConvex, ///< safe-area R^d averaging, quorum collect (convex validity, n > 3t) — VectorRunConfig
+  /// Safe-area R^d averaging over the view-equalized collect layer: values
+  /// travel by Bracha reliable broadcast and freezing is witness-gated
+  /// (core/collect.hpp, CollectMode::kEqualized), so any two honest round-r
+  /// views share >= n - t common entries and equivocation is structurally
+  /// neutralized.  Theta(n^3) messages per round vs kVectorConvex's
+  /// Theta(n^2) — the cost the view-overlap guarantee buys.  n > 3t.
+  kVectorConvexRB,
 };
 
 enum class SchedKind : std::uint8_t {
@@ -104,7 +111,8 @@ struct RunReport {
 
 struct VectorRunConfig {
   SystemParams params;
-  ProtocolKind protocol = ProtocolKind::kVectorCrash;  ///< kVectorCrash / kVectorByz / kVectorConvex
+  /// kVectorCrash / kVectorByz / kVectorConvex / kVectorConvexRB
+  ProtocolKind protocol = ProtocolKind::kVectorCrash;
   std::uint32_t dim = 2;
   /// Per-coordinate averaging rule.  kVectorByz overrides this with the
   /// byzantine-safe DLPSW rule, mirroring the scalar kByzRound path.
@@ -144,6 +152,38 @@ struct VectorRunReport {
   /// Correct-party L-infinity spread at each round entry.
   std::vector<double> linf_spread_by_round;
   Round max_round_reached = 0;
+
+  /// First round entry whose correct-party L-infinity spread is <= epsilon
+  /// (valid when reached_eps; compare protocols' convergence speed without
+  /// re-running at different budgets).
+  Round rounds_to_eps = 0;
+  bool reached_eps = false;
+
+  // --- view-overlap verdict (convex protocols only) -------------------------
+  //
+  // The property view equalization buys: any two honest parties' frozen
+  // round-r views must share >= n - t common (origin, value) entries drawn
+  // from a common pool.  kVectorConvexRB guarantees it structurally (RB +
+  // witness reports); plain quorum collect does NOT — an equivocator showing
+  // different values to different parties drives the overlap below n - t.
+  // Measured from the frozen-view trace (core::ViewTraceFn); entries match
+  // when origin AND bitwise value agree.
+  /// True when at least one round had two correct frozen views to compare.
+  bool view_overlap_measured = false;
+  /// Min over rounds and correct-party pairs of the common-entry count.
+  std::uint32_t view_overlap_min = 0;
+  /// view_overlap_min >= n - t over every measured round (vacuously false
+  /// when nothing was measured).
+  bool view_overlap_ok = false;
+
+  // --- per-phase message counts (from net::Metrics::sent_by_tag) ------------
+  /// Direct value messages (ROUND + VEC tags): all the traffic of quorum
+  /// collect.
+  std::uint64_t msgs_value = 0;
+  /// Reliable-broadcast traffic (scalar + vector SEND/ECHO/READY tags).
+  std::uint64_t msgs_rb_send = 0, msgs_rb_echo = 0, msgs_rb_ready = 0;
+  /// Witness reports (REPORT tag).
+  std::uint64_t msgs_report = 0;
 };
 
 /// Convenience: evenly spaced inputs over [lo, hi].

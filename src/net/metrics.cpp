@@ -1,3 +1,39 @@
 #include "net/metrics.hpp"
 
-namespace apxa::net {}
+namespace apxa::net {
+
+void Metrics::note_send(ProcessId from, std::span<const std::byte> payload) {
+  ++messages_sent;
+  payload_bytes += payload.size();
+  if (from < sent_by.size()) {
+    ++sent_by[from];
+    bytes_by[from] += payload.size();
+  }
+
+  // Tag + round attribution from the shared wire convention
+  // [tag][round-or-instance varint] (core/codec.hpp).  Unknown or malformed
+  // payloads land in bucket 0 / stay unattributed — metrics never throw.
+  std::size_t tag = 0;
+  if (!payload.empty()) {
+    const auto raw = static_cast<std::uint8_t>(payload[0]);
+    if (raw >= 1 && raw <= kMaxTag) tag = raw;
+  }
+  ++sent_by_tag[tag];
+  if (tag == 0) return;
+
+  std::uint64_t round = 0;
+  int shift = 0;
+  for (std::size_t i = 1; i < payload.size() && shift < 64; ++i, shift += 7) {
+    const auto b = static_cast<std::uint8_t>(payload[i]);
+    round |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      if (round < kMaxTrackedRounds) {
+        if (sent_by_round.size() <= round) sent_by_round.resize(round + 1, 0);
+        ++sent_by_round[round];
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace apxa::net

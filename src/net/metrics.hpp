@@ -7,7 +7,10 @@
 //                         finishing at time R therefore ran in R "rounds".
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -15,6 +18,13 @@
 namespace apxa::net {
 
 struct Metrics {
+  /// Wire tags above this are lumped into sent_by_tag[0] (unknown).
+  static constexpr std::size_t kMaxTag = 15;
+  /// Rounds/instances at or above this are not attributed per round (they
+  /// still count in every aggregate).  Bounds memory against byzantine
+  /// payloads encoding absurd round numbers.
+  static constexpr std::size_t kMaxTrackedRounds = 4096;
+
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;   ///< sends by already-crashed parties
@@ -23,11 +33,29 @@ struct Metrics {
   std::vector<std::uint64_t> sent_by;   ///< per-sender message counts
   std::vector<std::uint64_t> bytes_by;  ///< per-sender payload bytes
 
+  /// Per-wire-tag message counts (index = first payload byte, the MsgType
+  /// tag of core/codec.hpp; 0 = unknown/out-of-range).  This is what makes
+  /// protocol *phase* cost measurable — e.g. how many messages of an
+  /// equalized-collect round are RB SEND/ECHO/READY vs witness REPORT
+  /// traffic — without the transports knowing any protocol.
+  std::array<std::uint64_t, kMaxTag + 1> sent_by_tag{};
+
+  /// Per-round/per-instance message counts.  Every wire format in this
+  /// codebase is [tag][round-or-instance varint]...; the varint after the
+  /// tag is decoded here (and only here) to attribute the send.  Grows on
+  /// demand up to kMaxTrackedRounds entries.
+  std::vector<std::uint64_t> sent_by_round;
+
   void reset(std::uint32_t n) {
     *this = Metrics{};
     sent_by.assign(n, 0);
     bytes_by.assign(n, 0);
   }
+
+  /// Account one point-to-point send: totals, per-sender, per-tag and
+  /// per-round counters.  Both transports call this from their send path
+  /// (under the metrics lock on the threaded backend).
+  void note_send(ProcessId from, std::span<const std::byte> payload);
 
   [[nodiscard]] std::uint64_t payload_bits() const { return payload_bytes * 8; }
 };

@@ -118,10 +118,7 @@ void SimNetwork::do_send(ProcessId from, ProcessId to, Bytes payload) {
   m.send_time = now_;
   m.payload = std::move(payload);
 
-  ++metrics_.messages_sent;
-  metrics_.payload_bytes += m.payload.size();
-  ++metrics_.sent_by[from];
-  metrics_.bytes_by[from] += m.payload.size();
+  metrics_.note_send(from, m.payload);
 
   const double d = sched::clamp_delay(scheduler_->delay(m));
   if (duplication_rng_ && duplication_rng_->next_bool(duplication_prob_)) {

@@ -4,52 +4,116 @@
 
 namespace apxa::rb {
 
-using core::encode_rb;
 using core::MsgType;
-using core::RbMsg;
 
-BrachaHub::BrachaHub(SystemParams params, DeliverFn on_deliver)
+// --- wire adapters ----------------------------------------------------------
+
+template <>
+struct RbWire<double> {
+  struct Decoded {
+    MsgType type;
+    std::uint32_t instance;
+    ProcessId origin;
+    double value;
+  };
+  static constexpr MsgType kSend = MsgType::kRbSend;
+  static constexpr MsgType kEcho = MsgType::kRbEcho;
+  static constexpr MsgType kReady = MsgType::kRbReady;
+
+  static Bytes encode(MsgType type, std::uint32_t instance, ProcessId origin,
+                      const double& value) {
+    return core::encode_rb(core::RbMsg{type, instance, origin, value});
+  }
+  static std::optional<Decoded> decode(BytesView payload) {
+    const auto m = core::decode_rb(payload);
+    if (!m) return std::nullopt;
+    return Decoded{m->type, m->instance, m->origin, m->value};
+  }
+};
+
+template <>
+struct RbWire<std::vector<double>> {
+  struct Decoded {
+    MsgType type;
+    std::uint32_t instance;
+    ProcessId origin;
+    std::vector<double> value;
+  };
+  static constexpr MsgType kSend = MsgType::kRbVecSend;
+  static constexpr MsgType kEcho = MsgType::kRbVecEcho;
+  static constexpr MsgType kReady = MsgType::kRbVecReady;
+
+  static Bytes encode(MsgType type, std::uint32_t instance, ProcessId origin,
+                      const std::vector<double>& value) {
+    return core::encode_rb_vec(core::RbVecMsg{type, instance, origin, value});
+  }
+  static std::optional<Decoded> decode(BytesView payload) {
+    auto m = core::decode_rb_vec(payload);
+    if (!m) return std::nullopt;
+    return Decoded{m->type, m->instance, m->origin, std::move(m->value)};
+  }
+};
+
+// --- hub --------------------------------------------------------------------
+
+template <class Value>
+BasicBrachaHub<Value>::BasicBrachaHub(SystemParams params, DeliverFn on_deliver)
     : params_(params), deliver_(std::move(on_deliver)) {
   APXA_ENSURE(params_.n > 3 * params_.t, "Bracha RB requires n > 3t");
   APXA_ENSURE(deliver_ != nullptr, "delivery callback required");
 }
 
-void BrachaHub::broadcast(net::Context& ctx, std::uint32_t instance, double value) {
+template <class Value>
+void BasicBrachaHub<Value>::broadcast(net::Context& ctx, std::uint32_t instance,
+                                      const Value& value) {
   const Key key{instance, ctx.self()};
-  ctx.multicast(encode_rb(RbMsg{MsgType::kRbSend, instance, ctx.self(), value}));
+  ctx.multicast(RbWire<Value>::encode(RbWire<Value>::kSend, instance, ctx.self(),
+                                      value));
   // Process our own SEND locally: echo it.
   send_echo(ctx, key, value);
 }
 
-void BrachaHub::send_echo(net::Context& ctx, const Key& key, double value) {
+template <class Value>
+void BasicBrachaHub<Value>::send_echo(net::Context& ctx, const Key& key,
+                                      const Value& value) {
   Slot& s = slots_[key];
   if (s.echoed) return;
   s.echoed = true;
-  ctx.multicast(encode_rb(RbMsg{MsgType::kRbEcho, key.first, key.second, value}));
+  ctx.multicast(
+      RbWire<Value>::encode(RbWire<Value>::kEcho, key.first, key.second, value));
   add_echo(ctx, key, ctx.self(), value);
 }
 
-void BrachaHub::send_ready(net::Context& ctx, const Key& key, double value) {
+template <class Value>
+void BasicBrachaHub<Value>::send_ready(net::Context& ctx, const Key& key,
+                                       const Value& value) {
   Slot& s = slots_[key];
   if (s.ready_sent) return;
   s.ready_sent = true;
-  ctx.multicast(encode_rb(RbMsg{MsgType::kRbReady, key.first, key.second, value}));
+  ctx.multicast(
+      RbWire<Value>::encode(RbWire<Value>::kReady, key.first, key.second, value));
   add_ready(ctx, key, ctx.self(), value);
 }
 
-void BrachaHub::add_echo(net::Context& ctx, const Key& key, ProcessId voter,
-                         double value) {
+template <class Value>
+void BasicBrachaHub<Value>::add_echo(net::Context& ctx, const Key& key,
+                                     ProcessId voter, const Value& value) {
   Slot& s = slots_[key];
+  // First vote per voter wins (see Slot::echo_voters): caps the state a
+  // vote-flooding byzantine can create, and costs honest traffic nothing.
+  if (!s.echo_voters.insert(voter).second) return;
   auto& voters = s.echoes[value];
-  if (!voters.insert(voter).second) return;
+  voters.insert(voter);
   if (voters.size() >= params_.quorum()) send_ready(ctx, key, value);
 }
 
-void BrachaHub::add_ready(net::Context& ctx, const Key& key, ProcessId voter,
-                          double value) {
+template <class Value>
+void BasicBrachaHub<Value>::add_ready(net::Context& ctx, const Key& key,
+                                      ProcessId voter, const Value& value) {
   Slot& s = slots_[key];
+  if (!s.ready_voters.insert(voter).second) return;
   auto& voters = s.readies[value];
-  if (!voters.insert(voter).second) return;
+  voters.insert(voter);
   if (voters.size() >= params_.t + 1) send_ready(ctx, key, value);
   if (voters.size() >= 2 * params_.t + 1 && !s.delivered) {
     s.delivered = true;
@@ -57,27 +121,29 @@ void BrachaHub::add_ready(net::Context& ctx, const Key& key, ProcessId voter,
   }
 }
 
-bool BrachaHub::handle(net::Context& ctx, ProcessId from, BytesView payload) {
-  const auto m = core::decode_rb(payload);
+template <class Value>
+bool BasicBrachaHub<Value>::handle(net::Context& ctx, ProcessId from,
+                                   BytesView payload) {
+  auto m = RbWire<Value>::decode(payload);
   if (!m) return false;
-  APXA_ENSURE(m->origin < params_.n, "RB origin out of range");
+  // Out-of-range origins are byzantine garbage, not a caller bug: discard
+  // like every other malformed input (throwing here would let one forged
+  // message crash every honest party).
+  if (m->origin >= params_.n) return true;
   const Key key{m->instance, m->origin};
-  switch (m->type) {
-    case MsgType::kRbSend:
-      // Authenticated channels: a SEND for origin o is only honored when it
-      // arrives from o itself (byzantine parties cannot forge senders).
-      if (from == m->origin) send_echo(ctx, key, m->value);
-      break;
-    case MsgType::kRbEcho:
-      add_echo(ctx, key, from, m->value);
-      break;
-    case MsgType::kRbReady:
-      add_ready(ctx, key, from, m->value);
-      break;
-    default:
-      return false;
+  if (m->type == RbWire<Value>::kSend) {
+    // Authenticated channels: a SEND for origin o is only honored when it
+    // arrives from o itself (byzantine parties cannot forge senders).
+    if (from == m->origin) send_echo(ctx, key, m->value);
+  } else if (m->type == RbWire<Value>::kEcho) {
+    add_echo(ctx, key, from, m->value);
+  } else {
+    add_ready(ctx, key, from, m->value);
   }
   return true;
 }
+
+template class BasicBrachaHub<double>;
+template class BasicBrachaHub<std::vector<double>>;
 
 }  // namespace apxa::rb

@@ -140,10 +140,7 @@ void ThreadNetwork::post(ProcessId from, ProcessId to, Bytes payload) {
   }
   {
     std::scoped_lock lock(metrics_mu_);
-    ++metrics_.messages_sent;
-    metrics_.payload_bytes += payload.size();
-    ++metrics_.sent_by[from];
-    metrics_.bytes_by[from] += payload.size();
+    metrics_.note_send(from, payload);
   }
   Mailbox& box = *boxes_[to];
   {

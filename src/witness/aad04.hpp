@@ -14,6 +14,12 @@
 //   4. when n - t reports (own included) are accepted, freeze the view
 //      V = all values delivered so far, and set v := midpoint(reduce_t(V)).
 //
+// What a "witness" certifies: an accepted report from party w is proof that
+// every origin w listed is RB-delivered HERE as well — accepting it means w
+// witnessed a quorum of values this party provably shares.  Freezing on
+// n - t accepted reports therefore certifies that the frozen view draws
+// from a pool common to every honest party that freezes.
+//
 // Why this works: any two correct parties' accepted report sets intersect in
 // n - 2t >= t + 1 reporters, so some *correct* reporter's n - t origins are
 // delivered by both — and RB agreement makes those shared values identical.
@@ -22,8 +28,20 @@
 // every iteration: K = 2, independent of n/t.  Contrast with the crash-model
 // mean rule's K = (n - t)/t — resilience bought with both messages and rate.
 //
+// Thresholds in play (all from SystemParams::quorum() = n - t, via the
+// embedded rb::BrachaHub — see rb/bracha.hpp for why each is tight):
+//   n - t   RB deliveries before reporting, origins per acceptable report,
+//           and accepted reports before freezing;
+//   n - t   ECHOes / t + 1, 2t + 1 READYs inside each RB instance.
+//
 // Termination: fixed iteration budget from a public input-magnitude bound
-// (synchronized budgets need no extra machinery).
+// (synchronized budgets need no extra machinery).  A finished party keeps
+// serving RB echoes/readies for laggards (totality obligation); see
+// on_message.
+//
+// The vector-valued generalization of this collect structure — same RB +
+// report phases, R^d payloads, pluggable into any round process — is
+// core/collect.hpp's CollectMode::kEqualized.
 #pragma once
 
 #include <map>
@@ -39,18 +57,27 @@
 namespace apxa::witness {
 
 struct WitnessConfig {
-  SystemParams params;          ///< requires n > 3t
+  /// Requires n > 3t (checked in the constructor; below the bound Bracha RB
+  /// loses agreement and the whole construction is void).
+  SystemParams params;
   double input = 0.0;
-  Round iterations = 1;         ///< iteration budget
-  core::TraceFn trace;          ///< (party, iteration, value at entry)
+  /// Iteration budget, >= 1 (checked).  Factor-2 contraction per iteration
+  /// means ceil(log2(spread/eps)) iterations reach eps-agreement.
+  Round iterations = 1;
+  core::TraceFn trace;  ///< (party, iteration, value at iteration entry)
 };
 
 class WitnessAaProcess final : public net::Process {
  public:
+  /// Throws std::invalid_argument unless n > 3t and iterations >= 1.
   explicit WitnessAaProcess(WitnessConfig cfg);
 
   void on_start(net::Context& ctx) override;
+  /// Feeds RB traffic to the hub and reports to the witness phase.  Keeps
+  /// serving the RB layer even after output() is set — dropping that duty
+  /// would strand laggards one totality quorum short.
   void on_message(net::Context& ctx, ProcessId from, BytesView payload) override;
+  /// Set after `iterations` completed iterations; stable afterwards.
   [[nodiscard]] std::optional<double> output() const override { return output_; }
 
   [[nodiscard]] double current_value() const { return value_; }

@@ -182,10 +182,174 @@ TEST(Bracha, MessageComplexityQuadratic) {
   EXPECT_GE(sent, 2u * 6u * 6u);  // at least echoes + readies from correct
 }
 
+TEST(Bracha, OneEchoVotePerVoterPerSlot) {
+  // A byzantine voter that echoes value A and later value B must count for A
+  // only: otherwise flip-flopped votes (and vote floods of fresh forged
+  // values) both grow unbounded per-slot state and let one voter contribute
+  // to two different quorums.  Here echoes for B reach the n - t = 3 count
+  // only if voters 1 and 2's second votes are (incorrectly) honored — the
+  // hub must stay silent instead of multicasting READY(B).
+  class CountingContext final : public net::Context {
+   public:
+    void send(ProcessId, Bytes) override { ++sends; }
+    void multicast(const Bytes&) override { ++multicasts; }
+    [[nodiscard]] ProcessId self() const override { return 0; }
+    [[nodiscard]] SystemParams params() const override { return {4, 1}; }
+    int sends = 0, multicasts = 0;
+  } ctx;
+  int deliveries = 0;
+  BrachaHub hub({4, 1}, [&](net::Context&, std::uint32_t, ProcessId,
+                            const double&) { ++deliveries; });
+  auto echo = [](ProcessId, double v) {
+    return core::encode_rb(core::RbMsg{core::MsgType::kRbEcho, 0, 2, v});
+  };
+  hub.handle(ctx, 1, echo(1, 1.0));  // A from 1
+  hub.handle(ctx, 2, echo(2, 1.0));  // A from 2: A has 2 < 3 votes
+  hub.handle(ctx, 1, echo(1, 2.0));  // flip to B — must be ignored
+  hub.handle(ctx, 2, echo(2, 2.0));  // flip to B — must be ignored
+  hub.handle(ctx, 3, echo(3, 2.0));  // B's only legitimate vote
+  EXPECT_EQ(ctx.multicasts, 0) << "a flip-flopped quorum sent READY";
+  EXPECT_EQ(deliveries, 0);
+}
+
+TEST(Bracha, OutOfRangeOriginDiscardedNotFatal) {
+  // A forged message naming origin >= n is byzantine garbage; the hub must
+  // consume and drop it, not throw out of an honest party's message loop.
+  class NoopContext final : public net::Context {
+   public:
+    void send(ProcessId, Bytes) override { FAIL() << "unexpected send"; }
+    void multicast(const Bytes&) override { FAIL() << "unexpected multicast"; }
+    [[nodiscard]] ProcessId self() const override { return 0; }
+    [[nodiscard]] SystemParams params() const override { return {4, 1}; }
+  } ctx;
+  int deliveries = 0;
+  BrachaHub hub({4, 1}, [&](net::Context&, std::uint32_t, ProcessId,
+                            const double&) { ++deliveries; });
+  const Bytes forged =
+      core::encode_rb(core::RbMsg{core::MsgType::kRbEcho, 0, /*origin=*/9, 1.0});
+  EXPECT_TRUE(hub.handle(ctx, 1, forged));  // consumed: it IS an RB message
+  EXPECT_EQ(hub.live_slots(), 0u);          // ...but created no state
+  EXPECT_EQ(deliveries, 0);
+}
+
 TEST(Bracha, RequiresNGreaterThan3T) {
   const SystemParams bad{6, 2};
   EXPECT_THROW(BrachaHub(bad, [](net::Context&, std::uint32_t, ProcessId, double) {}),
                std::invalid_argument);
+}
+
+// --- vector hub (rb::VecBrachaHub, the equalized-collect transport) ---------
+
+/// Vector analogue of RbParty: broadcasts R^d points, records deliveries.
+class VecRbParty final : public net::Process {
+ public:
+  VecRbParty(SystemParams params, std::map<std::uint32_t, std::vector<double>> bc)
+      : to_broadcast_(std::move(bc)),
+        hub_(params, [this](net::Context&, std::uint32_t inst, ProcessId origin,
+                            const std::vector<double>& value) {
+          delivered_[{inst, origin}].push_back(value);
+        }) {}
+
+  void on_start(net::Context& ctx) override {
+    for (const auto& [inst, v] : to_broadcast_) hub_.broadcast(ctx, inst, v);
+  }
+  void on_message(net::Context& ctx, ProcessId from, BytesView payload) override {
+    hub_.handle(ctx, from, payload);
+  }
+
+  std::map<std::uint32_t, std::vector<double>> to_broadcast_;
+  /// All deliveries per (instance, origin) — uniqueness says size <= 1.
+  std::map<std::pair<std::uint32_t, ProcessId>, std::vector<std::vector<double>>>
+      delivered_;
+  VecBrachaHub hub_;
+};
+
+TEST(VecBracha, ValidityFaultFree) {
+  const SystemParams p{4, 1};
+  net::SimNetwork sim(p, std::make_unique<sched::RandomScheduler>(3));
+  std::vector<VecRbParty*> parties;
+  for (ProcessId i = 0; i < p.n; ++i) {
+    std::map<std::uint32_t, std::vector<double>> bc;
+    if (i == 0) bc[0] = {1.5, -2.5, 3.5};
+    auto party = std::make_unique<VecRbParty>(p, std::move(bc));
+    parties.push_back(party.get());
+    sim.add_process(std::move(party));
+  }
+  sim.start();
+  sim.run();
+  for (const auto* q : parties) {
+    ASSERT_EQ(q->delivered_.size(), 1u);
+    const auto& vs = q->delivered_.at({0, 0});
+    ASSERT_EQ(vs.size(), 1u);  // uniqueness: exactly one delivery
+    EXPECT_EQ(vs[0], (std::vector<double>{1.5, -2.5, 3.5}));
+  }
+}
+
+TEST(VecBracha, EquivocationDeliversAtMostOneValuePerOrigin) {
+  // A byzantine origin SENDs a different vector to every receiver.  Per
+  // party: at most one delivery for (instance, origin).  Across parties:
+  // at most one distinct value delivered anywhere (agreement).
+  class VecEquivocator final : public net::Process {
+   public:
+    void on_start(net::Context& ctx) override {
+      for (ProcessId to = 0; to < ctx.params().n; ++to) {
+        if (to == ctx.self()) continue;
+        const std::vector<double> v{static_cast<double>(to), -1.0};
+        ctx.send(to, core::encode_rb_vec(core::RbVecMsg{
+                         core::MsgType::kRbVecSend, 0, ctx.self(), v}));
+      }
+    }
+    void on_message(net::Context&, ProcessId, BytesView) override {}
+  };
+
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    const SystemParams p{4, 1};
+    net::SimNetwork sim(p, std::make_unique<sched::RandomScheduler>(seed));
+    std::vector<VecRbParty*> parties;
+    sim.add_process(std::make_unique<VecEquivocator>());
+    sim.mark_byzantine(0);
+    for (ProcessId i = 1; i < 4; ++i) {
+      auto party = std::make_unique<VecRbParty>(
+          p, std::map<std::uint32_t, std::vector<double>>{});
+      parties.push_back(party.get());
+      sim.add_process(std::move(party));
+    }
+    sim.start();
+    sim.run();
+    std::set<std::vector<double>> values;
+    for (const auto* q : parties) {
+      for (const auto& [key, vs] : q->delivered_) {
+        EXPECT_LE(vs.size(), 1u) << "seed " << seed << ": double delivery";
+        for (const auto& v : vs) values.insert(v);
+      }
+    }
+    EXPECT_LE(values.size(), 1u) << "seed " << seed << ": delivery split";
+  }
+}
+
+TEST(VecBracha, ScalarAndVectorHubsIgnoreEachOthersWire) {
+  // Tag ranges are disjoint: a scalar hub must not consume RBVEC traffic and
+  // vice versa — the two can safely coexist in one process.
+  int calls = 0;
+  BrachaHub scalar({4, 1}, [&](net::Context&, std::uint32_t, ProcessId,
+                               const double&) { ++calls; });
+  VecBrachaHub vec({4, 1}, [&](net::Context&, std::uint32_t, ProcessId,
+                               const std::vector<double>&) { ++calls; });
+  const Bytes svec = core::encode_rb_vec(
+      core::RbVecMsg{core::MsgType::kRbVecEcho, 0, 1, {1.0, 2.0}});
+  const Bytes sscalar =
+      core::encode_rb(core::RbMsg{core::MsgType::kRbEcho, 0, 1, 1.0});
+  // Rejection happens at decode, before any send reaches the context.
+  class NoopContext final : public net::Context {
+   public:
+    void send(ProcessId, Bytes) override { FAIL() << "unexpected send"; }
+    void multicast(const Bytes&) override { FAIL() << "unexpected multicast"; }
+    [[nodiscard]] ProcessId self() const override { return 0; }
+    [[nodiscard]] SystemParams params() const override { return {4, 1}; }
+  } ctx;
+  EXPECT_FALSE(scalar.handle(ctx, 1, svec));
+  EXPECT_FALSE(vec.handle(ctx, 1, sscalar));
+  EXPECT_EQ(calls, 0);
 }
 
 TEST(Bracha, ForgedSendIgnored) {

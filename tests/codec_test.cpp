@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/codec.hpp"
+#include "core/multidim.hpp"  // decode_vec_round (wire tag 7)
 
 namespace apxa::core {
 namespace {
@@ -51,6 +52,37 @@ TEST(Codec, ReportMsgRoundTrip) {
   EXPECT_EQ(d->have, m.have);
 }
 
+TEST(Codec, RbVecMsgRoundTrip) {
+  for (MsgType t :
+       {MsgType::kRbVecSend, MsgType::kRbVecEcho, MsgType::kRbVecReady}) {
+    const RbVecMsg m{t, 6, 2, {1.5, -2.0, 0.0}};
+    const auto d = decode_rb_vec(encode_rb_vec(m));
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->type, t);
+    EXPECT_EQ(d->instance, 6u);
+    EXPECT_EQ(d->origin, 2u);
+    EXPECT_EQ(d->value, m.value);
+  }
+}
+
+TEST(Codec, RbVecRejectsMalformed) {
+  // Scalar RB and vector RB tags are disjoint.
+  EXPECT_FALSE(decode_rb_vec(encode_rb(RbMsg{MsgType::kRbSend, 1, 2, 3.0})));
+  EXPECT_FALSE(decode_rb(encode_rb_vec(
+      RbVecMsg{MsgType::kRbVecSend, 1, 2, {3.0}})));
+  // Empty vectors and trailing garbage are rejected.
+  EXPECT_FALSE(decode_rb_vec(encode_rb_vec(
+      RbVecMsg{MsgType::kRbVecSend, 1, 2, {}})));
+  Bytes b = encode_rb_vec(RbVecMsg{MsgType::kRbVecEcho, 1, 2, {3.0, 4.0}});
+  b.push_back(static_cast<std::byte>(0));
+  EXPECT_FALSE(decode_rb_vec(b).has_value());
+}
+
+TEST(Codec, PeekTypeCoversVectorTags) {
+  EXPECT_EQ(peek_type(encode_rb_vec(RbVecMsg{MsgType::kRbVecReady, 1, 2, {3.0}})),
+            MsgType::kRbVecReady);
+}
+
 TEST(Codec, CrossDecodeReturnsNullopt) {
   const Bytes round = encode_round(RoundMsg{1, 2.0, 0});
   EXPECT_FALSE(decode_done(round).has_value());
@@ -70,9 +102,22 @@ TEST(Codec, PeekType) {
 }
 
 TEST(Codec, TruncatedPayloadRejected) {
+  // Decoders are total: truncation — byzantine-forgeable network input —
+  // yields nullopt, never an exception (a throw here would crash every
+  // honest party's message loop).
   Bytes b = encode_round(RoundMsg{100000, 2.0, 5});
   b.pop_back();
-  EXPECT_THROW(decode_round(b), std::invalid_argument);
+  EXPECT_FALSE(decode_round(b).has_value());
+  // The nastiest truncation: a bare valid tag byte and nothing else.
+  for (std::uint8_t tag = 1; tag <= 10; ++tag) {
+    const Bytes lone{static_cast<std::byte>(tag)};
+    EXPECT_FALSE(decode_round(lone).has_value());
+    EXPECT_FALSE(decode_done(lone).has_value());
+    EXPECT_FALSE(decode_rb(lone).has_value());
+    EXPECT_FALSE(decode_report(lone).has_value());
+    EXPECT_FALSE(decode_rb_vec(lone).has_value());
+    EXPECT_FALSE(decode_vec_round(lone).has_value());
+  }
 }
 
 TEST(Codec, TrailingGarbageRejected) {

@@ -32,7 +32,8 @@ Round budget_for(const Case& c, double M, double eps) {
     case ProtocolKind::kVectorCrash:
     case ProtocolKind::kVectorByz:
     case ProtocolKind::kVectorConvex:
-      break;  // vector protocols are exercised by vector/convex parity tests
+    case ProtocolKind::kVectorConvexRB:
+      break;  // vector protocols are exercised by vector/convex/collect tests
   }
   return 1;
 }

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in markdown files.
+
+Usage: check_links.py FILE.md [FILE.md ...]
+
+Checks every inline markdown link/image ([text](target)) whose target is not
+an external URL (scheme://, mailto:) or a pure in-page anchor (#...).  The
+target, resolved relative to the file containing it (anchors and query
+strings stripped), must exist in the working tree.  Exit code 1 and one line
+per broken link otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images; trailing anchors or queries are stripped before the
+# existence check.  Reference-style definitions ([id]: target) are rare in
+# this repo and intentionally out of scope.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def broken_links(path: Path) -> list[str]:
+    bad = []
+    text = path.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if EXTERNAL_RE.match(target) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0].split("?", 1)[0]
+            if not rel:
+                continue
+            if rel.startswith("/"):
+                # GitHub renders a leading "/" relative to the repo root,
+                # never the runner's filesystem root; resolve accordingly
+                # (the CI job runs this script from the repo root).
+                resolved = (Path.cwd() / rel.lstrip("/")).resolve()
+            else:
+                resolved = (path.parent / rel).resolve()
+            if not resolved.exists():
+                bad.append(f"{path}:{lineno}: broken link -> {target}")
+    return bad
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            failures.append(f"{name}: file not found")
+            continue
+        failures.extend(broken_links(path))
+    for line in failures:
+        print(line, file=sys.stderr)
+    if not failures:
+        print(f"checked {len(argv) - 1} file(s): all relative links resolve")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
