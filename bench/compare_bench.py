@@ -29,7 +29,7 @@ import sys
 from pathlib import Path
 
 ALL_IDS = ["t1", "t2", "t3", "t4", "t5", "t6", "t7",
-           "f1", "f2", "f3", "f4", "f5", "f6"]
+           "f1", "f2", "f3", "f4", "f5", "f6", "f7"]
 
 
 def load(path: Path):

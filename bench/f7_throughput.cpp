@@ -1,0 +1,167 @@
+// F7 — Multi-instance throughput frontier.
+//
+// K concurrent AA instances share one transport through harness::Session
+// (instance envelopes + per-destination batch packets).  For each backend
+// (deterministic simulator / threaded runtime) and each batching mode
+// (unbatched / cap-8 packing) the driver sweeps the concurrency level K and
+// reports service throughput (instances completed per wall second), the
+// p50/p99 per-instance finish time, and the packing efficiency msgs/packet.
+//
+// Expected shape: batching never changes logical message counts, so the
+// sim rows show identical `messages` columns per K; at service scale
+// (K >= 64) the round-0 bursts pack >= 2 msgs/packet (the CI gate), and on
+// the threaded runtime fewer packets means fewer mailbox lock/wake cycles,
+// so the batched rows overtake the unbatched ones as K grows.
+//
+// Finish-time units differ per backend (Delta units on sim, wall seconds on
+// thread) — compare p50/p99 within a backend, never across.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/async_byz.hpp"
+#include "harness/session.hpp"
+
+namespace {
+
+using namespace apxa;
+
+constexpr std::uint32_t kParties = 5;
+constexpr std::uint32_t kFaults = 1;
+constexpr Round kRounds = 4;
+
+/// One service request: a small fixed-round crash-model instance.  Inputs
+/// vary per instance (only params/sched/seed/backend must be shared), so the
+/// instances are not trivially identical work items.
+harness::RunConfig instance_cfg(std::size_t k, harness::BackendKind backend) {
+  harness::RunConfig cfg;
+  cfg.params = {kParties, kFaults};
+  cfg.protocol = harness::ProtocolKind::kCrashRound;
+  cfg.mode = core::TerminationMode::kFixedRounds;
+  cfg.fixed_rounds = kRounds;
+  cfg.inputs =
+      harness::linear_inputs(kParties, 0.0, 1.0 + 0.25 * (k % 8));
+  cfg.sched = harness::SchedKind::kRandom;
+  cfg.seed = 7;
+  cfg.backend = backend;
+  cfg.thread_timeout = std::chrono::milliseconds{120'000};
+  return cfg;
+}
+
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(xs.size())));
+  return xs[std::min(xs.size() - 1, rank > 0 ? rank - 1 : 0)];
+}
+
+struct Cell {
+  const char* backend_name;
+  const char* mode_name;
+  std::size_t instances;
+  double wall_ms;
+  double inst_per_sec;
+  double p50;
+  double p99;
+  std::uint64_t messages;
+  std::uint64_t packets;
+  double mpp;
+};
+
+/// Run one (backend, batching, K) point.  The threaded runtime is timed
+/// best-of-`reps` to tame OS scheduling noise; the simulator is
+/// deterministic, so one rep suffices.
+Cell run_cell(harness::BackendKind backend, std::uint32_t batching,
+              std::size_t instances, int reps) {
+  Cell cell{};
+  cell.backend_name =
+      backend == harness::BackendKind::kSim ? "sim" : "thread";
+  cell.mode_name = batching > 0 ? "batched" : "unbatched";
+  cell.instances = instances;
+  cell.wall_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    harness::SessionOptions opts;
+    opts.batching = batching;
+    // All rows go through the router path, including K = 1: the sweep
+    // measures the multiplexed service, not the single-instance fast path.
+    opts.force_multiplex = true;
+    harness::Session session(opts);
+    for (std::size_t k = 0; k < instances; ++k) {
+      session.add(instance_cfg(k, backend));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto report = session.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (!report.all_output) {
+      std::fprintf(stderr, "f7: %s/%s K=%zu failed to complete all instances\n",
+                   cell.backend_name, cell.mode_name, instances);
+      std::exit(1);
+    }
+    if (ms < cell.wall_ms) {
+      cell.wall_ms = ms;
+      cell.inst_per_sec = static_cast<double>(instances) / (ms / 1e3);
+      cell.p50 = percentile(report.finish_times, 0.50);
+      cell.p99 = percentile(report.finish_times, 0.99);
+      cell.messages = report.metrics.messages_sent;
+      cell.packets = report.metrics.packets_sent;
+      cell.mpp = report.msgs_per_packet;
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonSink sink(argc, argv, "f7");
+  std::printf(
+      "F7 — Multi-instance AA service throughput vs concurrency.\n"
+      "n=%u t=%u crash-model instances, %u fixed rounds each; finish times\n"
+      "are Delta units on sim and wall seconds on thread.\n\n",
+      kParties, kFaults, static_cast<unsigned>(kRounds));
+  std::printf(
+      "backend,mode,instances,wall_ms,inst_per_sec,p50_finish,p99_finish,"
+      "messages,packets,msgs_per_packet\n");
+  sink.begin_section("throughput",
+                     {"backend", "mode", "instances", "wall_ms",
+                      "inst_per_sec", "p50_finish", "p99_finish", "messages",
+                      "packets", "msgs_per_packet"});
+
+  const std::size_t sweep[] = {1, 16, 64, 256};
+  for (const auto backend :
+       {harness::BackendKind::kSim, harness::BackendKind::kThread}) {
+    const bool is_thread = backend == harness::BackendKind::kThread;
+    for (const std::uint32_t batching : {0u, 8u}) {
+      for (const std::size_t instances : sweep) {
+        const Cell c = run_cell(backend, batching, instances,
+                                is_thread ? 3 : 1);
+        std::printf("%s,%s,%zu,%.3f,%.1f,%.6f,%.6f,%llu,%llu,%.3f\n",
+                    c.backend_name, c.mode_name, c.instances, c.wall_ms,
+                    c.inst_per_sec, c.p50, c.p99,
+                    static_cast<unsigned long long>(c.messages),
+                    static_cast<unsigned long long>(c.packets), c.mpp);
+        sink.add_row({c.backend_name, c.mode_name,
+                      std::to_string(c.instances), bench::fmt(c.wall_ms),
+                      bench::fmt(c.inst_per_sec, 1), bench::fmt(c.p50, 6),
+                      bench::fmt(c.p99, 6), bench::fmt_u(c.messages),
+                      bench::fmt_u(c.packets), bench::fmt(c.mpp)});
+      }
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: per K the batched and unbatched rows carry identical\n"
+      "`messages` (batching is invisible to logical traffic); msgs/packet\n"
+      "climbs with K as round-0 bursts fill cap-8 packets; on the threaded\n"
+      "runtime the batched rows win throughput at high K (fewer packets =>\n"
+      "fewer shard-mailbox lock/wake cycles).\n");
+  return sink.finish();
+}

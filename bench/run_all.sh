@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the full t1-t7/f1-f6 evaluation sweep and writes, for each driver:
+# Runs the full t1-t7/f1-f7 evaluation sweep and writes, for each driver:
 #   <outdir>/BENCH_<id>.json  — machine-readable results (--json mode, or the
 #                               google-benchmark JSON reporter for t5)
 #   <outdir>/BENCH_<id>.txt   — the human-readable stdout tables
@@ -17,7 +17,7 @@ bindir=${1:?usage: run_all.sh <bench-bin-dir> [outdir]}
 outdir=${2:-.}
 mkdir -p "$outdir"
 
-ids="t1 t2 t3 t4 t5 t6 t7 f1 f2 f3 f4 f5 f6"
+ids="t1 t2 t3 t4 t5 t6 t7 f1 f2 f3 f4 f5 f6 f7"
 [ -n "${APXA_BENCH_ONLY:-}" ] && ids=$APXA_BENCH_ONLY
 
 failed=0

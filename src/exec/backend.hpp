@@ -93,6 +93,13 @@ class Backend {
   /// receivers a crashing multicast reaches.
   virtual void set_multicast_order(ProcessId p, std::vector<ProcessId> order) = 0;
 
+  /// Enable per-destination send batching: up to `max_frames` (<=
+  /// net::kMaxBatchFrames) logical frames per packet, flushed when the
+  /// sending upcall returns.  crash_after_sends keeps counting logical
+  /// sends.  Must precede run(); off by default (the unbatched path is
+  /// byte-identical to pre-batching builds).
+  virtual void enable_batching(std::uint32_t max_frames) = 0;
+
   /// Execute until every correct party satisfies the completion probe, the
   /// simulator queue drains, or a budget/timeout is hit.
   virtual ExecResult run(const ExecOptions& opts) = 0;

@@ -23,6 +23,10 @@ void SimBackend::set_multicast_order(ProcessId p, std::vector<ProcessId> order) 
   net_.set_multicast_order(p, std::move(order));
 }
 
+void SimBackend::enable_batching(std::uint32_t max_frames) {
+  net_.enable_batching(max_frames);
+}
+
 ExecResult SimBackend::run(const ExecOptions& opts) {
   const auto n = net_.params().n;
   net_.start();

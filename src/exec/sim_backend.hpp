@@ -23,6 +23,7 @@ class SimBackend final : public Backend {
   void mark_byzantine(ProcessId p) override;
   void crash_after_sends(ProcessId p, std::uint64_t count) override;
   void set_multicast_order(ProcessId p, std::vector<ProcessId> order) override;
+  void enable_batching(std::uint32_t max_frames) override;
   ExecResult run(const ExecOptions& opts) override;
 
   [[nodiscard]] SystemParams params() const override { return net_.params(); }

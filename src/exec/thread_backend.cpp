@@ -18,6 +18,10 @@ void ThreadBackend::set_multicast_order(ProcessId p, std::vector<ProcessId> orde
   net_.set_multicast_order(p, std::move(order));
 }
 
+void ThreadBackend::enable_batching(std::uint32_t max_frames) {
+  net_.enable_batching(max_frames);
+}
+
 ExecResult ThreadBackend::run(const ExecOptions& opts) {
   net_.set_done_predicate(opts.done);
   const bool completed = net_.run(opts.timeout);

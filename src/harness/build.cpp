@@ -7,6 +7,7 @@
 #include "core/async_byz.hpp"
 #include "core/codec.hpp"
 #include "core/convex_aa.hpp"
+#include "net/envelope.hpp"
 #include "sched/clique_scheduler.hpp"
 #include "sched/crash_timing_scheduler.hpp"
 #include "sched/fifo_scheduler.hpp"
@@ -45,12 +46,31 @@ std::set<ProcessId> byzantine_ids(const RunConfig& cfg) {
 
 namespace {
 
+// Value-aware schedulers must stay value-aware against multiplexed sessions:
+// their probe sees whole packets, so unwrap a single instance envelope
+// before probing.  Batch packets stay opaque (the inner decoders reject the
+// batch tag and the scheduler falls back to its value-blind delay) — one
+// packet carries many instances' values, so no single probe is meaningful.
+sched::ProbeFn envelope_aware(sched::ProbeFn inner) {
+  return [inner = std::move(inner)](
+             BytesView payload) -> std::optional<sched::ValueProbe> {
+    if (net::is_envelope(payload)) {
+      if (const auto env = net::decode_envelope(payload)) {
+        return inner(env->payload);
+      }
+      return std::nullopt;
+    }
+    return inner(payload);
+  };
+}
+
 // Shared by the scalar and vector config overloads: everything except the
 // value probe the greedy-split scheduler snoops payloads with is identical.
 std::unique_ptr<sched::Scheduler> make_scheduler_impl(SchedKind kind,
                                                       std::uint64_t seed,
                                                       SystemParams params,
                                                       sched::ProbeFn probe) {
+  probe = envelope_aware(std::move(probe));
   switch (kind) {
     case SchedKind::kRandom:
       return std::make_unique<sched::RandomScheduler>(seed);

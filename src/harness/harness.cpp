@@ -28,12 +28,10 @@ std::unique_ptr<exec::Backend> make_backend(const RunConfig& cfg) {
 }
 
 RunReport execute(const RunConfig& cfg, exec::Backend& backend) {
-  const auto n = cfg.params.n;
-
   // Trace: values at round entry, per party.  Worker threads of the threaded
   // backend invoke the hook concurrently, hence the mutex (uncontended and
   // irrelevant for timing on the simulator).
-  std::map<Round, std::map<ProcessId, double>> trace;
+  ScalarTrace trace;
   std::mutex trace_mu;
   core::TraceFn trace_fn = [&trace, &trace_mu](ProcessId p, Round r, double v) {
     std::scoped_lock lock(trace_mu);
@@ -47,7 +45,12 @@ RunReport execute(const RunConfig& cfg, exec::Backend& backend) {
   opts.timeout = cfg.thread_timeout;
   opts.done = make_done_predicate(cfg);
   const exec::ExecResult res = backend.run(opts);
+  return finalize(cfg, res, trace);
+}
 
+RunReport finalize(const RunConfig& cfg, const exec::ExecResult& res,
+                   const ScalarTrace& trace) {
+  const auto n = cfg.params.n;
   RunReport rep;
   rep.status = res.status;
   rep.all_output = res.all_correct_output;
@@ -113,12 +116,10 @@ std::unique_ptr<exec::Backend> make_backend(const VectorRunConfig& cfg) {
 }
 
 VectorRunReport execute(const VectorRunConfig& cfg, exec::Backend& backend) {
-  const auto n = cfg.params.n;
-
   // Per-round vectors at round entry, per party; same concurrency contract
   // as the scalar trace (worker threads of the threaded backend invoke the
   // hook concurrently).
-  std::map<Round, std::map<ProcessId, std::vector<double>>> trace;
+  VectorTrace trace;
   std::mutex trace_mu;
   core::VecTraceFn trace_fn = [&trace, &trace_mu](ProcessId p, Round r,
                                                   const std::vector<double>& v) {
@@ -128,7 +129,7 @@ VectorRunReport execute(const VectorRunConfig& cfg, exec::Backend& backend) {
 
   // Frozen-view trace (convex protocols only): what each honest party's
   // round-r view actually contained, for the view-overlap verdict.
-  std::map<Round, std::map<ProcessId, std::vector<core::CollectEntry>>> views;
+  ViewTrace views;
   std::mutex views_mu;
   core::ViewTraceFn view_fn =
       [&views, &views_mu](ProcessId p, Round r,
@@ -143,7 +144,12 @@ VectorRunReport execute(const VectorRunConfig& cfg, exec::Backend& backend) {
   opts.max_deliveries = cfg.max_deliveries;
   opts.timeout = cfg.thread_timeout;
   const exec::ExecResult res = backend.run(opts);
+  return finalize(cfg, res, trace, views);
+}
 
+VectorRunReport finalize(const VectorRunConfig& cfg, const exec::ExecResult& res,
+                         const VectorTrace& trace, const ViewTrace& views) {
+  const auto n = cfg.params.n;
   VectorRunReport rep;
   rep.status = res.status;
   rep.all_output = res.all_correct_output;

@@ -15,12 +15,22 @@
 //   execute(cfg, be)    — stage and run on a caller-constructed backend.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <vector>
 
+#include "core/collect.hpp"
 #include "exec/backend.hpp"
 #include "harness/scenario.hpp"
 
 namespace apxa::harness {
+
+/// Round-entry value traces collected during a run (party -> value at each
+/// round).  Shared by execute() and harness::Session.
+using ScalarTrace = std::map<Round, std::map<ProcessId, double>>;
+using VectorTrace = std::map<Round, std::map<ProcessId, std::vector<double>>>;
+using ViewTrace =
+    std::map<Round, std::map<ProcessId, std::vector<core::CollectEntry>>>;
 
 /// Construct the backend the config asks for (simulator backends get the
 /// config's scheduler; the threaded runtime ignores sched/seed).
@@ -48,5 +58,17 @@ RunReport run_threaded(const RunConfig& cfg);
 std::unique_ptr<exec::Backend> make_backend(const VectorRunConfig& cfg);
 VectorRunReport execute(const VectorRunConfig& cfg, exec::Backend& backend);
 VectorRunReport run(const VectorRunConfig& cfg);
+
+// --- verdict finalization ---------------------------------------------------
+// Turn an ExecResult plus the collected traces into the backend-independent
+// report (validity hull, eps-agreement, spread trace, phase attribution).
+// execute() is stage + run + finalize; harness::Session reuses finalize on
+// per-instance synthetic ExecResults so multiplexed verdicts are computed by
+// the exact same code as single-instance ones.
+
+RunReport finalize(const RunConfig& cfg, const exec::ExecResult& res,
+                   const ScalarTrace& trace);
+VectorRunReport finalize(const VectorRunConfig& cfg, const exec::ExecResult& res,
+                         const VectorTrace& trace, const ViewTrace& views);
 
 }  // namespace apxa::harness

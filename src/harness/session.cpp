@@ -1,0 +1,358 @@
+#include "harness/session.hpp"
+
+#include <chrono>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <utility>
+
+#include "common/ensure.hpp"
+#include "exec/sim_backend.hpp"
+#include "exec/thread_backend.hpp"
+#include "harness/build.hpp"
+#include "net/envelope.hpp"
+
+namespace apxa::harness {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Context handed to a sub-process: wraps every outgoing frame in this
+/// instance's envelope before forwarding to the router's transport context.
+/// Attacker processes get wrapped too, so byzantine traffic is well-formed
+/// at the envelope layer (its INNER bytes are still whatever the attacker
+/// forged).
+class SubContext final : public net::Context {
+ public:
+  SubContext(net::Context& outer, std::uint32_t instance)
+      : outer_(outer), instance_(instance) {}
+
+  void send(ProcessId to, Bytes payload) override {
+    outer_.send(to, net::encode_envelope(instance_, payload));
+  }
+
+  void multicast(const Bytes& payload) override {
+    outer_.multicast(net::encode_envelope(instance_, payload));
+  }
+
+  [[nodiscard]] ProcessId self() const override { return outer_.self(); }
+  [[nodiscard]] SystemParams params() const override { return outer_.params(); }
+
+ private:
+  net::Context& outer_;
+  std::uint32_t instance_;
+};
+
+/// Per-(instance, party) decide times.  Routers write disjoint slots (their
+/// own party column) from their owning delivery thread, so no lock is
+/// needed; `now` reads virtual time on the simulator, wall time on the
+/// threaded runtime.
+struct DecideClock {
+  std::function<double()> now;
+  std::vector<std::vector<double>> time;  // [instance][party]; +inf = undecided
+};
+
+/// One wire party serving K agreement instances: demultiplexes incoming
+/// envelopes to the owning sub-process and reports "decided" only when every
+/// instance has.  Junk frames — truncated envelopes, out-of-range instance
+/// ids, non-envelope bytes — are dropped (the decoders are total, so a
+/// forger costs the honest router nothing but the lookup).
+class RouterProcess final : public net::Process {
+ public:
+  RouterProcess(ProcessId self, std::vector<std::unique_ptr<net::Process>> subs,
+                DecideClock* clock)
+      : self_(self),
+        subs_(std::move(subs)),
+        clock_(clock),
+        decided_(subs_.size(), false) {}
+
+  void on_start(net::Context& ctx) override {
+    for (std::uint32_t i = 0; i < subs_.size(); ++i) {
+      SubContext sub(ctx, i);
+      subs_[i]->on_start(sub);
+      note_decided(i);
+    }
+  }
+
+  void on_message(net::Context& ctx, ProcessId from, BytesView payload) override {
+    const auto env = net::decode_envelope(payload);
+    if (!env || env->instance >= subs_.size()) return;
+    SubContext sub(ctx, env->instance);
+    subs_[env->instance]->on_message(sub, from, env->payload);
+    note_decided(env->instance);
+  }
+
+  [[nodiscard]] bool has_output() const override {
+    for (const auto& s : subs_) {
+      if (!s->has_output()) return false;
+    }
+    return true;
+  }
+
+ private:
+  void note_decided(std::uint32_t i) {
+    if (decided_[i] || !subs_[i]->has_output()) return;
+    decided_[i] = true;
+    clock_->time[i][self_] = clock_->now();
+  }
+
+  ProcessId self_;
+  std::vector<std::unique_ptr<net::Process>> subs_;
+  DecideClock* clock_;
+  std::vector<bool> decided_;
+};
+
+struct SharedSettings {
+  SystemParams params;
+  SchedKind sched;
+  std::uint64_t seed;
+  BackendKind backend;
+  std::uint64_t max_deliveries;
+  std::chrono::milliseconds thread_timeout;
+};
+
+}  // namespace
+
+Session::Session(SessionOptions opts) : opts_(std::move(opts)) {}
+
+std::size_t Session::add(RunConfig cfg) {
+  APXA_ENSURE(!ran_, "cannot add instances after run()");
+  validate(cfg);
+  instances_.push_back(Instance{std::move(cfg), std::nullopt});
+  return instances_.size() - 1;
+}
+
+std::size_t Session::add(VectorRunConfig cfg) {
+  APXA_ENSURE(!ran_, "cannot add instances after run()");
+  validate(cfg);
+  instances_.push_back(Instance{std::nullopt, std::move(cfg)});
+  return instances_.size() - 1;
+}
+
+SessionReport Session::run() {
+  APXA_ENSURE(!instances_.empty(), "session needs at least one instance");
+  APXA_ENSURE(!ran_, "Session::run may be called once");
+  ran_ = true;
+
+  if (instances_.size() == 1 && !opts_.force_multiplex &&
+      opts_.crashes.empty() && opts_.batching == 0 && opts_.shards == 0) {
+    // Size-1 delegation: plain harness::run — no envelope framing, legacy
+    // metrics accounting, bit-identical reports to the single-instance path.
+    SessionReport out;
+    out.scalar_reports.resize(1);
+    out.vector_reports.resize(1);
+    if (instances_[0].scalar) {
+      RunReport r = harness::run(*instances_[0].scalar);
+      out.status = r.status;
+      out.all_output = r.all_output;
+      out.metrics = r.metrics;
+      out.msgs_per_packet = r.metrics.msgs_per_packet();
+      out.finish_times = {r.finish_time};
+      out.scalar_reports[0] = std::move(r);
+    } else {
+      VectorRunReport r = harness::run(*instances_[0].vec);
+      out.status = r.status;
+      out.all_output = r.all_output;
+      out.metrics = r.metrics;
+      out.msgs_per_packet = r.metrics.msgs_per_packet();
+      out.finish_times = {r.finish_time};
+      out.vector_reports[0] = std::move(r);
+    }
+    return out;
+  }
+  return run_multiplexed();
+}
+
+SessionReport Session::run_multiplexed() {
+  const std::size_t K = instances_.size();
+  APXA_ENSURE(K <= 1u << 20, "session too large");
+
+  auto settings_of = [](const Instance& in) -> SharedSettings {
+    if (in.scalar) {
+      return {in.scalar->params,         in.scalar->sched,
+              in.scalar->seed,           in.scalar->backend,
+              in.scalar->max_deliveries, in.scalar->thread_timeout};
+    }
+    return {in.vec->params,         in.vec->sched,
+            in.vec->seed,           in.vec->backend,
+            in.vec->max_deliveries, in.vec->thread_timeout};
+  };
+  auto byz_of = [](const Instance& in) {
+    return in.scalar ? byzantine_ids(*in.scalar) : byzantine_ids(*in.vec);
+  };
+
+  const SharedSettings shared = settings_of(instances_.front());
+  const auto byz = byz_of(instances_.front());
+  for (const auto& in : instances_) {
+    const SharedSettings s = settings_of(in);
+    APXA_ENSURE(s.params.n == shared.params.n && s.params.t == shared.params.t,
+                "all session instances must share SystemParams");
+    APXA_ENSURE(s.sched == shared.sched && s.seed == shared.seed,
+                "all session instances must share scheduler and seed");
+    APXA_ENSURE(s.backend == shared.backend,
+                "all session instances must share the backend");
+    APXA_ENSURE(byz_of(in) == byz,
+                "all session instances must share the byzantine id set");
+    const bool has_crashes =
+        in.scalar ? !in.scalar->crashes.empty() : !in.vec->crashes.empty();
+    APXA_ENSURE(!has_crashes,
+                "per-instance crash plans are not multiplexable; use "
+                "SessionOptions::crashes (budgets count session-wide "
+                "logical sends)");
+    APXA_ENSURE(!in.scalar || in.scalar->mode != core::TerminationMode::kLive,
+                "kLive instances cannot be multiplexed (no output to wait on)");
+  }
+  for (const auto& c : opts_.crashes) {
+    APXA_ENSURE(c.who < shared.params.n, "session crash id out of range");
+    APXA_ENSURE(!byz.contains(c.who), "party cannot be both byz and crashed");
+  }
+  APXA_ENSURE(opts_.crashes.size() + byz.size() <= shared.params.t,
+              "session faults cannot exceed the budget t");
+
+  const std::uint32_t n = shared.params.n;
+
+  // NOTE: everything routers reference (traces, rows, clock) is declared
+  // BEFORE the backend so it outlives the transport's worker threads.
+  std::vector<ScalarTrace> straces(K);
+  std::vector<VectorTrace> vtraces(K);
+  std::vector<ViewTrace> viewtraces(K);
+  std::mutex trace_mu;
+
+  std::vector<std::vector<std::unique_ptr<net::Process>>> rows(K);
+  for (std::size_t i = 0; i < K; ++i) {
+    if (instances_[i].scalar) {
+      core::TraceFn fn = [&straces, &trace_mu, i](ProcessId p, Round r,
+                                                  double v) {
+        std::scoped_lock lock(trace_mu);
+        straces[i][r][p] = v;
+      };
+      rows[i] = build_processes(*instances_[i].scalar, fn);
+    } else {
+      core::VecTraceFn fn = [&vtraces, &trace_mu, i](
+                                ProcessId p, Round r,
+                                const std::vector<double>& v) {
+        std::scoped_lock lock(trace_mu);
+        vtraces[i][r][p] = v;
+      };
+      core::ViewTraceFn vfn =
+          [&viewtraces, &trace_mu, i](
+              ProcessId p, Round r,
+              const std::vector<core::CollectEntry>& view) {
+            std::scoped_lock lock(trace_mu);
+            viewtraces[i][r][p] = view;
+          };
+      rows[i] = build_processes(*instances_[i].vec, fn, vfn);
+    }
+  }
+
+  DecideClock clock;
+  clock.time.assign(K, std::vector<double>(n, kInf));
+
+  std::unique_ptr<exec::Backend> backend;
+  if (shared.backend == BackendKind::kSim) {
+    auto sched = instances_.front().scalar
+                     ? make_scheduler(*instances_.front().scalar)
+                     : make_scheduler(*instances_.front().vec);
+    auto sim = std::make_unique<exec::SimBackend>(shared.params,
+                                                  std::move(sched));
+    auto* simp = sim.get();
+    clock.now = [simp] { return simp->network().now(); };
+    backend = std::move(sim);
+  } else {
+    auto th = std::make_unique<exec::ThreadBackend>(shared.params);
+    if (opts_.shards > 0) th->network().set_shards(opts_.shards);
+    const auto t0 = std::chrono::steady_clock::now();
+    clock.now = [t0] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+          .count();
+    };
+    backend = std::move(th);
+  }
+  if (opts_.batching > 0) backend->enable_batching(opts_.batching);
+
+  // Routers: party p owns instance i's p-th process for every i.  Raw
+  // pointers stay valid for post-run reads — the router (and the backend
+  // holding it) lives until the end of this function.
+  std::vector<std::vector<net::Process*>> subs(
+      n, std::vector<net::Process*>(K, nullptr));
+  for (ProcessId p = 0; p < n; ++p) {
+    std::vector<std::unique_ptr<net::Process>> mine;
+    mine.reserve(K);
+    for (std::size_t i = 0; i < K; ++i) {
+      subs[p][i] = rows[i][p].get();
+      mine.push_back(std::move(rows[i][p]));
+    }
+    backend->add_process(
+        std::make_unique<RouterProcess>(p, std::move(mine), &clock));
+  }
+  for (ProcessId b : byz) backend->mark_byzantine(b);
+  adversary::install(*backend, opts_.crashes);
+
+  exec::ExecOptions eopts;
+  eopts.max_deliveries = shared.max_deliveries;
+  eopts.timeout = shared.thread_timeout;
+  const exec::ExecResult res = backend->run(eopts);
+
+  SessionReport out;
+  out.status = res.status;
+  out.metrics = res.metrics;
+  out.msgs_per_packet = res.metrics.msgs_per_packet();
+  out.scalar_reports.resize(K);
+  out.vector_reports.resize(K);
+  out.finish_times.assign(K, kInf);
+  out.all_output = true;
+
+  for (std::size_t i = 0; i < K; ++i) {
+    // Synthetic per-instance ExecResult: this instance's outputs and decide
+    // times, the session's correctness flags and transport metrics.  Fed to
+    // the same finalize() as single-instance runs.
+    exec::ExecResult ri;
+    ri.status = res.status;
+    ri.correct = res.correct;
+    ri.output_times = clock.time[i];
+    ri.metrics = res.metrics;
+    ri.all_correct_output = true;
+    for (ProcessId p = 0; p < n; ++p) {
+      if (!res.correct[p]) continue;
+      const net::Process& sub = *subs[p][i];
+      if (!sub.has_output()) {
+        ri.all_correct_output = false;
+        continue;
+      }
+      if (const auto y = sub.output()) ri.outputs.push_back(*y);
+      if (auto vy = sub.vector_output()) {
+        ri.vector_outputs.push_back(std::move(*vy));
+      }
+    }
+    if (!ri.all_correct_output) out.all_output = false;
+    if (instances_[i].scalar) {
+      RunReport r = finalize(*instances_[i].scalar, ri, straces[i]);
+      out.finish_times[i] = r.finish_time;
+      out.scalar_reports[i] = std::move(r);
+    } else {
+      VectorRunReport r =
+          finalize(*instances_[i].vec, ri, vtraces[i], viewtraces[i]);
+      out.finish_times[i] = r.finish_time;
+      out.vector_reports[i] = std::move(r);
+    }
+  }
+  return out;
+}
+
+SessionReport run_session(const std::vector<RunConfig>& cfgs,
+                          const SessionOptions& opts) {
+  Session s(opts);
+  for (const auto& c : cfgs) s.add(c);
+  return s.run();
+}
+
+SessionReport run_session(const std::vector<VectorRunConfig>& cfgs,
+                          const SessionOptions& opts) {
+  Session s(opts);
+  for (const auto& c : cfgs) s.add(c);
+  return s.run();
+}
+
+}  // namespace apxa::harness

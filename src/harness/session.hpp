@@ -1,0 +1,113 @@
+// AA-as-a-service: many concurrent agreement instances over one network.
+//
+// A Session registers K RunConfig / VectorRunConfig instances (freely mixed)
+// that share one transport.  Each party is represented on the wire by a
+// single ROUTER process owning that party's K per-instance protocol state
+// machines; outgoing traffic is wrapped in instance envelopes
+// (net/envelope.hpp) and incoming envelopes are demultiplexed to the owning
+// sub-process.  Byzantine attacker processes ride behind the same router, so
+// even adversarial traffic carries well-formed envelopes.  With batching
+// enabled (SessionOptions::batching) the transports pack the frames of one
+// upcall into per-destination batch packets, amortizing per-message transport
+// cost across instances — the whole point of multiplexing.
+//
+// Verdicts: per-instance reports are produced by the SAME finalize() code as
+// single-instance harness::run, fed a per-instance synthetic ExecResult
+// (per-instance outputs, decide times and traces; session-wide transport
+// metrics — per-instance message counts live in metrics.sent_by_instance).
+//
+// A Session of size 1 (without force_multiplex / batching / session crashes)
+// DELEGATES to plain harness::run — no envelope overhead, bit-identical
+// reports — so existing single-instance entry points and bench JSON are
+// unchanged by this layer's existence.
+//
+// Constraints a multiplexed session enforces (std::invalid_argument):
+//  - every instance shares params, sched, seed, backend and byzantine ID set
+//    (attacker *strategies* may differ per instance);
+//  - per-instance crash plans are empty — crashes are a SESSION-level fault
+//    (SessionOptions::crashes) whose send budgets count logical sends across
+//    all of the party's instances;
+//  - scalar instances must use an outputting termination mode (not kLive):
+//    completion is "every router decided every instance".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "adversary/crash_plan.hpp"
+#include "harness/harness.hpp"
+#include "harness/scenario.hpp"
+
+namespace apxa::harness {
+
+struct SessionOptions {
+  /// Frames-per-packet cap for per-destination send batching; 0 = batching
+  /// off.  Values are clamped nowhere — must be <= net::kMaxBatchFrames.
+  std::uint32_t batching = 0;
+  /// Delivery shard count for the threaded backend; 0 = auto
+  /// (min(n, hardware_concurrency)).  Ignored by the simulator.
+  std::uint32_t shards = 0;
+  /// Run the multiplexed router path even for a size-1 session (testing /
+  /// benchmarking the envelope overhead); default is to delegate size-1
+  /// sessions to plain harness::run.
+  bool force_multiplex = false;
+  /// Session-level crash plan: a budget of k crashes the party after its
+  /// k-th LOGICAL send counted across every instance it serves.
+  std::vector<adversary::CrashSpec> crashes;
+};
+
+struct SessionReport {
+  net::RunStatus status = net::RunStatus::kQueueDrained;
+  /// True when every instance's correct parties all decided.
+  bool all_output = false;
+  /// Per-instance reports in add() order; exactly one slot engaged per
+  /// instance depending on its config type.
+  std::vector<std::optional<RunReport>> scalar_reports;
+  std::vector<std::optional<VectorRunReport>> vector_reports;
+  /// Per-instance finish time: max decide time over that instance's correct
+  /// parties (Delta units on sim, wall seconds on thread); +inf if the
+  /// instance did not complete.
+  std::vector<double> finish_times;
+  /// Session-wide transport metrics (logical messages, packets, per-instance
+  /// counts in sent_by_instance).
+  net::Metrics metrics;
+  /// Batching efficiency: metrics.msgs_per_packet().
+  double msgs_per_packet = 0.0;
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions opts = {});
+
+  /// Register an instance; returns its instance id (= envelope instance
+  /// field = index into the report vectors).
+  std::size_t add(RunConfig cfg);
+  std::size_t add(VectorRunConfig cfg);
+
+  [[nodiscard]] std::size_t size() const { return instances_.size(); }
+
+  /// Execute all instances over one shared transport and report per-instance
+  /// verdicts.  May be called once.
+  SessionReport run();
+
+ private:
+  struct Instance {
+    std::optional<RunConfig> scalar;
+    std::optional<VectorRunConfig> vec;
+  };
+
+  SessionReport run_multiplexed();
+
+  SessionOptions opts_;
+  std::vector<Instance> instances_;
+  bool ran_ = false;
+};
+
+/// Convenience: one-shot session over a uniform config list.
+SessionReport run_session(const std::vector<RunConfig>& cfgs,
+                          const SessionOptions& opts = {});
+SessionReport run_session(const std::vector<VectorRunConfig>& cfgs,
+                          const SessionOptions& opts = {});
+
+}  // namespace apxa::harness

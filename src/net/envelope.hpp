@@ -1,0 +1,85 @@
+// Instance-multiplexed wire envelope and batch framing.
+//
+// One agreement instance per network is demo scale; AA-as-a-service means
+// many concurrent instances share one transport.  Two frame formats make
+// that possible without the transports knowing any protocol:
+//
+//   ENVELOPE : [tag 11][instance varint][inner frame bytes...]
+//              One protocol message (any core/codec.hpp format, tags 1..10)
+//              scoped to an agreement instance.  The inner frame extends to
+//              the end of the envelope, so single-message envelopes cost
+//              2..6 bytes of framing.
+//   BATCH    : [tag 12][count varint]([len varint][frame bytes])...
+//              Up to kMaxBatchFrames logical frames packed into one packet
+//              (modeled on the <=8-messages-per-UDP-packet packing of real
+//              perfect-link implementations).  Inner frames are envelopes or
+//              legacy messages, never batches (no recursion).
+//
+// Tag bytes 11/12 extend the [tag][varint] convention of core/codec.hpp, so
+// net::Metrics can attribute LOGICAL messages (envelopes) — not packets —
+// per tag, per round and per instance without decoding any protocol.
+//
+// All decoders are TOTAL: any byte sequence — including truncated, overlong
+// or recursively nested frames forged by byzantine peers — decodes to a
+// value or nullopt, never an exception.  Decoded views alias the input
+// buffer (zero copy on the delivery hot path); callers keep the packet alive
+// while using them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace apxa::net {
+
+/// Wire tag of a single instance-scoped envelope frame.
+inline constexpr std::uint8_t kEnvelopeTag = 11;
+/// Wire tag of a multi-frame batch packet.
+inline constexpr std::uint8_t kBatchTag = 12;
+
+/// Send-side packing cap: a flush never packs more than this many logical
+/// frames into one batch packet.
+inline constexpr std::uint32_t kMaxBatchFrames = 8;
+/// Decode-side bound (byzantine peers forge their own counts); generous so
+/// foreign implementations with bigger packets still parse, small enough to
+/// bound per-packet work.
+inline constexpr std::uint32_t kMaxBatchDecodeFrames = 64;
+
+/// A decoded envelope: which instance, and a view of the inner frame
+/// (aliases the encoded buffer — zero copy).
+struct EnvelopeView {
+  std::uint32_t instance = 0;
+  BytesView payload;
+};
+
+/// Frame one protocol message for instance `instance`.
+Bytes encode_envelope(std::uint32_t instance, BytesView inner);
+
+/// Total decoder; nullopt unless `frame` is [kEnvelopeTag][varint][>=1 byte].
+std::optional<EnvelopeView> decode_envelope(BytesView frame);
+
+/// True when the first byte of `frame` is the envelope tag (cheap routing
+/// test; decode_envelope still validates the rest).
+bool is_envelope(BytesView frame);
+
+/// Pack `frames` (each an envelope or legacy message, NOT a batch) into one
+/// batch packet.  Requires 1 <= |frames| <= kMaxBatchFrames and every frame
+/// non-empty.
+Bytes encode_batch(std::span<const Bytes> frames);
+
+/// Total decoder; nullopt unless `packet` is a well-formed batch whose inner
+/// frames are all non-empty, non-batch, and exactly fill the packet.  Views
+/// alias `packet`.
+std::optional<std::vector<BytesView>> decode_batch(BytesView packet);
+
+/// Split any packet into its logical frames: a batch yields its inner
+/// frames, anything else (envelope or legacy message) yields itself.  A
+/// malformed batch also yields itself — the protocol decoders downstream are
+/// total and will reject it, so a forged batch costs its sender one junk
+/// delivery, never a crash.
+std::vector<BytesView> unpack_packet(BytesView packet);
+
+}  // namespace apxa::net

@@ -1,30 +1,59 @@
 #include "net/metrics.hpp"
 
+#include "net/envelope.hpp"
+
 namespace apxa::net {
 
 void Metrics::note_send(ProcessId from, std::span<const std::byte> payload) {
-  ++messages_sent;
+  ++packets_sent;
   payload_bytes += payload.size();
-  if (from < sent_by.size()) {
-    ++sent_by[from];
-    bytes_by[from] += payload.size();
+  if (from < bytes_by.size()) bytes_by[from] += payload.size();
+
+  // A batch packet carries several logical messages; everything else (an
+  // envelope or a bare protocol frame) is one.  unpack_packet is total, so a
+  // forged batch simply counts as one unknown-tag message.
+  for (const BytesView frame : unpack_packet(payload)) {
+    note_logical(from, frame);
+  }
+}
+
+void Metrics::note_logical(ProcessId from, std::span<const std::byte> frame) {
+  ++messages_sent;
+  if (from < sent_by.size()) ++sent_by[from];
+
+  // Strip the instance envelope (if any) and attribute the instance.
+  if (is_envelope(frame)) {
+    const auto env = decode_envelope(frame);
+    if (!env) {
+      ++sent_by_tag[0];  // malformed envelope: unknown
+      return;
+    }
+    if (env->instance < kMaxTrackedRounds) {
+      if (sent_by_instance.size() <= env->instance) {
+        sent_by_instance.resize(env->instance + 1, 0);
+      }
+      ++sent_by_instance[env->instance];
+    }
+    frame = env->payload;
   }
 
   // Tag + round attribution from the shared wire convention
   // [tag][round-or-instance varint] (core/codec.hpp).  Unknown or malformed
   // payloads land in bucket 0 / stay unattributed — metrics never throw.
   std::size_t tag = 0;
-  if (!payload.empty()) {
-    const auto raw = static_cast<std::uint8_t>(payload[0]);
-    if (raw >= 1 && raw <= kMaxTag) tag = raw;
+  if (!frame.empty()) {
+    const auto raw = static_cast<std::uint8_t>(frame[0]);
+    if (raw >= 1 && raw <= kMaxTag && raw != kEnvelopeTag && raw != kBatchTag) {
+      tag = raw;
+    }
   }
   ++sent_by_tag[tag];
   if (tag == 0) return;
 
   std::uint64_t round = 0;
   int shift = 0;
-  for (std::size_t i = 1; i < payload.size() && shift < 64; ++i, shift += 7) {
-    const auto b = static_cast<std::uint8_t>(payload[i]);
+  for (std::size_t i = 1; i < frame.size() && shift < 64; ++i, shift += 7) {
+    const auto b = static_cast<std::uint8_t>(frame[i]);
     round |= static_cast<std::uint64_t>(b & 0x7f) << shift;
     if ((b & 0x80) == 0) {
       if (round < kMaxTrackedRounds) {

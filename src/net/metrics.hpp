@@ -1,7 +1,11 @@
 // Communication metrics, accounted the way the approximate-agreement
 // literature counts complexity:
-//   message complexity  = number of point-to-point messages sent,
-//   communication (bits) = total encoded payload size,
+//   message complexity  = number of LOGICAL point-to-point messages sent
+//                         (batching packs several into one packet; the
+//                         per-tag/per-round/per-instance counters below count
+//                         envelopes, not packets, so batched runs stay
+//                         comparable to unbatched ones),
+//   communication (bits) = total encoded payload size on the wire,
 //   latency             = virtual time normalized so that the maximum delay
 //                         between correct parties is Delta = 1.0; a protocol
 //                         finishing at time R therefore ran in R "rounds".
@@ -25,26 +29,32 @@ struct Metrics {
   /// payloads encoding absurd round numbers.
   static constexpr std::size_t kMaxTrackedRounds = 4096;
 
-  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_sent = 0;      ///< logical messages (batch frames)
+  std::uint64_t packets_sent = 0;       ///< physical sends (a batch is one)
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;   ///< sends by already-crashed parties
-  std::uint64_t payload_bytes = 0;      ///< sum of payload sizes over sends
+  std::uint64_t payload_bytes = 0;      ///< wire bytes (framing included)
 
-  std::vector<std::uint64_t> sent_by;   ///< per-sender message counts
-  std::vector<std::uint64_t> bytes_by;  ///< per-sender payload bytes
+  std::vector<std::uint64_t> sent_by;   ///< per-sender logical counts
+  std::vector<std::uint64_t> bytes_by;  ///< per-sender wire bytes
 
-  /// Per-wire-tag message counts (index = first payload byte, the MsgType
-  /// tag of core/codec.hpp; 0 = unknown/out-of-range).  This is what makes
-  /// protocol *phase* cost measurable — e.g. how many messages of an
-  /// equalized-collect round are RB SEND/ECHO/READY vs witness REPORT
-  /// traffic — without the transports knowing any protocol.
+  /// Per-wire-tag LOGICAL message counts (index = tag byte of the inner
+  /// protocol frame after stripping envelope/batch framing; 0 = unknown).
+  /// This is what makes protocol *phase* cost measurable — e.g. how many
+  /// messages of an equalized-collect round are RB SEND/ECHO/READY vs
+  /// witness REPORT traffic — without the transports knowing any protocol.
   std::array<std::uint64_t, kMaxTag + 1> sent_by_tag{};
 
-  /// Per-round/per-instance message counts.  Every wire format in this
-  /// codebase is [tag][round-or-instance varint]...; the varint after the
-  /// tag is decoded here (and only here) to attribute the send.  Grows on
-  /// demand up to kMaxTrackedRounds entries.
+  /// Per-round message counts.  Every protocol wire format in this codebase
+  /// is [tag][round-or-instance varint]...; the varint after the tag is
+  /// decoded here (and only here) to attribute the send.  Grows on demand up
+  /// to kMaxTrackedRounds entries.
   std::vector<std::uint64_t> sent_by_round;
+
+  /// Per-agreement-instance message counts, from the envelope framing of
+  /// net/envelope.hpp.  Empty unless enveloped traffic was seen; same
+  /// kMaxTrackedRounds growth bound.
+  std::vector<std::uint64_t> sent_by_instance;
 
   void reset(std::uint32_t n) {
     *this = Metrics{};
@@ -52,12 +62,25 @@ struct Metrics {
     bytes_by.assign(n, 0);
   }
 
-  /// Account one point-to-point send: totals, per-sender, per-tag and
-  /// per-round counters.  Both transports call this from their send path
-  /// (under the metrics lock on the threaded backend).
+  /// Account one physical send: one packet, its wire bytes, and one logical
+  /// message per batch frame it carries (per-sender, per-tag, per-round and
+  /// per-instance).  Both transports call this from their send path (under
+  /// the metrics lock on the threaded backend).
   void note_send(ProcessId from, std::span<const std::byte> payload);
 
   [[nodiscard]] std::uint64_t payload_bits() const { return payload_bytes * 8; }
+
+  /// Batching efficiency: logical messages per physical packet (1.0 when
+  /// batching is off; >1 when flushes pack multiple frames).
+  [[nodiscard]] double msgs_per_packet() const {
+    return packets_sent == 0
+               ? 0.0
+               : static_cast<double>(messages_sent) /
+                     static_cast<double>(packets_sent);
+  }
+
+ private:
+  void note_logical(ProcessId from, std::span<const std::byte> frame);
 };
 
 }  // namespace apxa::net

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
+#include <utility>
+
+#include "net/envelope.hpp"
 
 namespace apxa::net {
 
@@ -75,6 +79,14 @@ void SimNetwork::enable_duplication(double prob, std::uint64_t seed) {
   duplication_rng_.emplace(seed);
 }
 
+void SimNetwork::enable_batching(std::uint32_t max_frames) {
+  APXA_ENSURE(max_frames >= 1 && max_frames <= kMaxBatchFrames,
+              "batch cap must be in [1, kMaxBatchFrames]");
+  APXA_ENSURE(!started_, "enable_batching must precede start()");
+  max_batch_ = max_frames;
+  batch_buf_.assign(params_.n, std::vector<std::vector<Bytes>>(params_.n));
+}
+
 void SimNetwork::set_multicast_order(ProcessId p, std::vector<ProcessId> order) {
   APXA_ENSURE(p < params_.n, "multicast order id out of range");
   for (ProcessId q : order) {
@@ -92,6 +104,7 @@ void SimNetwork::start() {
     if (status_[p] == PartyStatus::kCrashed) continue;
     ContextImpl ctx(*this, p);
     procs_[p]->on_start(ctx);
+    flush_sender(p);
   }
   note_outputs();
 }
@@ -111,6 +124,32 @@ void SimNetwork::do_send(ProcessId from, ProcessId to, Bytes payload) {
   }
   ++sends_made_[from];
 
+  // Batching buffers the LOGICAL frame per destination; the crash accounting
+  // above already happened, so a crash firing on a later frame of the same
+  // multicast still lets this one flush.  Frames that are themselves batch
+  // packets (byzantine forgeries) never nest — they go out as their own
+  // packet and the receiver's total decoders reject them.
+  if (max_batch_ > 0 && !payload.empty() &&
+      static_cast<std::uint8_t>(payload[0]) != kBatchTag) {
+    auto& buf = batch_buf_[from][to];
+    buf.push_back(std::move(payload));
+    if (buf.size() >= max_batch_) {
+      Bytes packet = encode_batch(std::span<const Bytes>(buf));
+      buf.clear();
+      enqueue_packet(from, to, std::move(packet));
+    }
+  } else {
+    enqueue_packet(from, to, std::move(payload));
+  }
+
+  // A send-limit crash that lands exactly on the new count takes effect now,
+  // so a multicast in progress stops at this receiver.
+  if (sends_made_[from] >= crash_send_limit_[from]) {
+    status_[from] = PartyStatus::kCrashed;
+  }
+}
+
+void SimNetwork::enqueue_packet(ProcessId from, ProcessId to, Bytes payload) {
   Message m;
   m.seq = next_seq_++;
   m.from = from;
@@ -127,11 +166,20 @@ void SimNetwork::do_send(ProcessId from, ProcessId to, Bytes payload) {
     queue_.push(Pending{now_ + dd, next_seq_++, std::move(dup)});
   }
   queue_.push(Pending{now_ + d, m.seq, std::move(m)});
+}
 
-  // A send-limit crash that lands exactly on the new count takes effect now,
-  // so a multicast in progress stops at this receiver.
-  if (sends_made_[from] >= crash_send_limit_[from]) {
-    status_[from] = PartyStatus::kCrashed;
+void SimNetwork::flush_sender(ProcessId from) {
+  if (max_batch_ == 0) return;
+  // Destination-id order keeps flushes deterministic.  Pre-crash frames
+  // flush even if `from` has since crashed: they were sent before the crash.
+  for (ProcessId to = 0; to < params_.n; ++to) {
+    auto& buf = batch_buf_[from][to];
+    if (buf.empty()) continue;
+    Bytes packet = buf.size() == 1
+                       ? std::move(buf.front())
+                       : encode_batch(std::span<const Bytes>(buf));
+    buf.clear();
+    enqueue_packet(from, to, std::move(packet));
   }
 }
 
@@ -177,11 +225,23 @@ RunStatus SimNetwork::run_until(const std::function<bool()>& pred,
     const Message& m = next.msg;
     if (status_[m.to] == PartyStatus::kCrashed) continue;  // dropped silently
     ++delivered;
-    ++metrics_.messages_delivered;
     scheduler_->on_deliver(m);
 
     ContextImpl ctx(*this, m.to);
-    procs_[m.to]->on_message(ctx, m.from, m.payload);
+    if (max_batch_ > 0) {
+      // Deliver EVERY frame of the packet before flushing the receiver's
+      // send buffers: an 8-frame batch advances up to 8 instances whose
+      // responses then pack into full batches again, so batching efficiency
+      // self-sustains down the cascade.
+      for (const BytesView frame : unpack_packet(m.payload)) {
+        ++metrics_.messages_delivered;
+        procs_[m.to]->on_message(ctx, m.from, Bytes(frame.begin(), frame.end()));
+      }
+      flush_sender(m.to);
+    } else {
+      ++metrics_.messages_delivered;
+      procs_[m.to]->on_message(ctx, m.from, m.payload);
+    }
     note_outputs();
     if (pred && pred()) return RunStatus::kPredicateSatisfied;
   }

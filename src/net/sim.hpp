@@ -69,6 +69,14 @@ class SimNetwork final {
   /// protocols must be idempotent, and this knob proves they are.
   void enable_duplication(double prob, std::uint64_t seed);
 
+  /// Enable per-destination send batching: frames produced during one upcall
+  /// are buffered per receiver and flushed as one batch packet (cap
+  /// `max_frames` <= net::kMaxBatchFrames) when the upcall returns.  Crash
+  /// semantics stay LOGICAL: crash_after_sends counts frames, and frames
+  /// buffered before the crash point still flush.  Off by default — the
+  /// unbatched path is byte-identical to pre-batching builds.
+  void enable_batching(std::uint32_t max_frames);
+
   /// Invoke on_start on every party (in id order) at time 0.
   void start();
 
@@ -119,6 +127,8 @@ class SimNetwork final {
 
   void do_send(ProcessId from, ProcessId to, Bytes payload);
   void do_multicast(ProcessId from, const Bytes& payload);
+  void enqueue_packet(ProcessId from, ProcessId to, Bytes payload);
+  void flush_sender(ProcessId from);
   void apply_timed_crashes(double up_to);
   void note_outputs();
 
@@ -139,6 +149,8 @@ class SimNetwork final {
   bool started_ = false;
   double duplication_prob_ = 0.0;
   std::optional<Rng> duplication_rng_;
+  std::uint32_t max_batch_ = 0;  // 0 = batching off
+  std::vector<std::vector<std::vector<Bytes>>> batch_buf_;  // [from][to]
 
   static constexpr std::uint64_t kNoLimit = UINT64_MAX;
 };

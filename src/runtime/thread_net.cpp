@@ -1,10 +1,13 @@
 #include "runtime/thread_net.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
+#include <span>
 #include <utility>
 
 #include "common/ensure.hpp"
+#include "net/envelope.hpp"
 
 namespace apxa::rt {
 
@@ -56,9 +59,13 @@ ThreadNetwork::ThreadNetwork(SystemParams params)
       output_time_(params.n),
       done_(params.n) {
   APXA_ENSURE(params_.n >= 1 && params_.t < params_.n, "bad system params");
-  boxes_.reserve(params_.n);
+  shard_count_ = std::min<std::uint32_t>(
+      params_.n, std::max(1u, std::thread::hardware_concurrency()));
+  shards_.clear();
+  for (std::uint32_t s = 0; s < shard_count_; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
   for (std::uint32_t i = 0; i < params_.n; ++i) {
-    boxes_.push_back(std::make_unique<Mailbox>());
     crashed_[i] = false;
     sends_made_[i] = 0;
     has_output_[i] = false;
@@ -72,7 +79,7 @@ ThreadNetwork::ThreadNetwork(SystemParams params)
 
 ThreadNetwork::~ThreadNetwork() {
   for (auto& th : threads_) th.request_stop();
-  for (auto& box : boxes_) box->cv.notify_all();
+  for (auto& sh : shards_) sh->cv.notify_all();
   // jthread joins on destruction.
 }
 
@@ -86,7 +93,7 @@ void ThreadNetwork::add_process(std::unique_ptr<net::Process> p) {
 void ThreadNetwork::crash(ProcessId p) {
   APXA_ENSURE(p < params_.n, "crash id out of range");
   crashed_[p] = true;
-  boxes_[p]->cv.notify_all();
+  shards_[shard_of(p)]->cv.notify_all();
 }
 
 void ThreadNetwork::crash_after_sends(ProcessId p, std::uint64_t count) {
@@ -116,9 +123,32 @@ void ThreadNetwork::set_done_predicate(DonePredicate pred) {
   done_pred_ = std::move(pred);
 }
 
+void ThreadNetwork::set_shards(std::uint32_t shards) {
+  APXA_ENSURE(shards >= 1, "need at least one shard");
+  APXA_ENSURE(!started_.load(), "set_shards must precede run()");
+  shard_count_ = std::min(params_.n, shards);
+  shards_.clear();
+  for (std::uint32_t s = 0; s < shard_count_; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void ThreadNetwork::enable_batching(std::uint32_t max_frames) {
+  APXA_ENSURE(max_frames >= 1 && max_frames <= net::kMaxBatchFrames,
+              "batch cap must be in [1, kMaxBatchFrames]");
+  APXA_ENSURE(!started_.load(), "enable_batching must precede run()");
+  max_batch_ = max_frames;
+  batch_buf_.assign(params_.n, std::vector<std::vector<Bytes>>(params_.n));
+}
+
+std::uint32_t ThreadNetwork::shards() const { return shard_count_; }
+
 void ThreadNetwork::post(ProcessId from, ProcessId to, Bytes payload) {
-  // A party's sends all come from its own worker thread, so the crash check,
-  // send counter and limit comparison need no cross-send synchronization.
+  // A party's sends all come from its owning shard thread, so the crash
+  // check, send counter and limit comparison need no cross-send
+  // synchronization.  The counter tracks LOGICAL sends — frames, not the
+  // packets batching later flushes — so crash_after_sends semantics are
+  // identical batched and unbatched.
   if (crashed_[from].load(std::memory_order_relaxed)) {
     // Every send attempted by an already-crashed party counts as dropped
     // (same accounting on both backends — see net::SimNetwork::do_send).
@@ -129,87 +159,145 @@ void ThreadNetwork::post(ProcessId from, ProcessId to, Bytes payload) {
   const std::uint64_t made = sends_made_[from].fetch_add(1, std::memory_order_relaxed);
   if (made >= send_limit_[from]) {
     // The crash fires exactly at this send: the message is lost, and a
-    // multicast in progress stops here (simulator-parity semantics).
+    // multicast in progress stops here (simulator-parity semantics).  Frames
+    // already buffered for batching were sent BEFORE the crash and still
+    // flush — see flush_sender.
     crashed_[from].store(true, std::memory_order_relaxed);
     {
       std::scoped_lock lock(metrics_mu_);
       ++metrics_.messages_dropped;
     }
-    boxes_[from]->cv.notify_all();
+    shards_[shard_of(from)]->cv.notify_all();
     return;
   }
-  {
-    std::scoped_lock lock(metrics_mu_);
-    metrics_.note_send(from, payload);
+
+  if (max_batch_ > 0 && !payload.empty() &&
+      static_cast<std::uint8_t>(payload[0]) != net::kBatchTag) {
+    auto& buf = batch_buf_[from][to];
+    buf.push_back(std::move(payload));
+    if (buf.size() >= max_batch_) {
+      Bytes packet = net::encode_batch(std::span<const Bytes>(buf));
+      buf.clear();
+      post_packet(from, to, std::move(packet));
+    }
+  } else {
+    post_packet(from, to, std::move(payload));
   }
-  Mailbox& box = *boxes_[to];
-  {
-    std::scoped_lock lock(box.mu);
-    box.queue.emplace_back(from, std::move(payload));
-  }
-  box.cv.notify_one();
 
   // A send-limit crash that lands exactly on the new count takes effect now
   // (simulator parity: SimNetwork::do_send's post-enqueue check), so a party
   // whose budget covers all the sends it ever makes still stops receiving.
   if (made + 1 >= send_limit_[from]) {
     crashed_[from].store(true, std::memory_order_relaxed);
-    boxes_[from]->cv.notify_all();
+    shards_[shard_of(from)]->cv.notify_all();
   }
 }
 
-void ThreadNetwork::deliver_loop(ProcessId p, std::stop_token st) {
-  ContextImpl ctx(*this, p);
-  auto publish = [this, p] {
-    if (!has_output_[p].load(std::memory_order_acquire)) {
-      if (procs_[p]->has_output()) {
-        const std::chrono::duration<double> since =
-            std::chrono::steady_clock::now() - start_time_;
-        if (auto vy = procs_[p]->vector_output()) {
-          output_vec_[p] = std::move(*vy);
-        }
-        if (const auto y = procs_[p]->output()) {
-          output_value_[p].store(*y, std::memory_order_relaxed);
-          has_scalar_[p].store(true, std::memory_order_relaxed);
-        }
-        output_time_[p].store(since.count(), std::memory_order_release);
-        has_output_[p].store(true, std::memory_order_release);
+void ThreadNetwork::post_packet(ProcessId from, ProcessId to, Bytes payload) {
+  {
+    std::scoped_lock lock(metrics_mu_);
+    metrics_.note_send(from, payload);
+  }
+  Shard& sh = *shards_[shard_of(to)];
+  {
+    std::scoped_lock lock(sh.mu);
+    sh.queue.push_back(Item{from, to, std::move(payload)});
+  }
+  sh.cv.notify_one();
+}
+
+void ThreadNetwork::flush_sender(ProcessId from) {
+  if (max_batch_ == 0) return;
+  // Destination-id order; pre-crash frames flush even if `from` has since
+  // crashed — they were logically sent before the crash point.
+  for (ProcessId to = 0; to < params_.n; ++to) {
+    auto& buf = batch_buf_[from][to];
+    if (buf.empty()) continue;
+    Bytes packet = buf.size() == 1
+                       ? std::move(buf.front())
+                       : net::encode_batch(std::span<const Bytes>(buf));
+    buf.clear();
+    post_packet(from, to, std::move(packet));
+  }
+}
+
+void ThreadNetwork::publish(ProcessId p) {
+  if (!has_output_[p].load(std::memory_order_acquire)) {
+    if (procs_[p]->has_output()) {
+      const std::chrono::duration<double> since =
+          std::chrono::steady_clock::now() - start_time_;
+      if (auto vy = procs_[p]->vector_output()) {
+        output_vec_[p] = std::move(*vy);
       }
+      if (const auto y = procs_[p]->output()) {
+        output_value_[p].store(*y, std::memory_order_relaxed);
+        has_scalar_[p].store(true, std::memory_order_relaxed);
+      }
+      output_time_[p].store(since.count(), std::memory_order_release);
+      has_output_[p].store(true, std::memory_order_release);
     }
-    // The completion probe contract only covers correct parties (it may
-    // downcast to the honest-protocol type), so skip byzantine/crashed ones.
-    if (!byzantine_[p] && !crashed_[p].load(std::memory_order_relaxed) &&
-        !done_[p].load(std::memory_order_acquire)) {
-      const bool d = done_pred_ ? done_pred_(*procs_[p])
-                                : has_output_[p].load(std::memory_order_acquire);
-      if (d) done_[p].store(true, std::memory_order_release);
-    }
-  };
-  if (!crashed_[p].load()) {
+  }
+  // The completion probe contract only covers correct parties (it may
+  // downcast to the honest-protocol type), so skip byzantine/crashed ones.
+  if (!byzantine_[p] && !crashed_[p].load(std::memory_order_relaxed) &&
+      !done_[p].load(std::memory_order_acquire)) {
+    const bool d = done_pred_ ? done_pred_(*procs_[p])
+                              : has_output_[p].load(std::memory_order_acquire);
+    if (d) done_[p].store(true, std::memory_order_release);
+  }
+}
+
+void ThreadNetwork::deliver_one(ProcessId p, ProcessId from,
+                                const Bytes& payload) {
+  {
+    std::scoped_lock lock(metrics_mu_);
+    ++metrics_.messages_delivered;
+  }
+  ContextImpl ctx(*this, p);
+  procs_[p]->on_message(ctx, from, payload);
+}
+
+void ThreadNetwork::deliver_loop(std::uint32_t shard, std::stop_token st) {
+  // Startup upcalls for the shard's parties, in id order.  Parties on other
+  // shards start concurrently; messages to a party whose on_start has not
+  // run yet simply wait in its shard queue (arbitrary asynchrony already
+  // allows that interleaving).
+  for (ProcessId p = shard; p < params_.n; p += shard_count_) {
+    if (st.stop_requested()) return;
+    if (crashed_[p].load(std::memory_order_relaxed)) continue;
+    ContextImpl ctx(*this, p);
     procs_[p]->on_start(ctx);
-    publish();
+    flush_sender(p);
+    publish(p);
   }
 
-  Mailbox& box = *boxes_[p];
+  Shard& sh = *shards_[shard];
   while (!st.stop_requested()) {
-    std::pair<ProcessId, Bytes> item;
+    Item item;
     {
-      std::unique_lock lock(box.mu);
-      box.cv.wait_for(lock, std::chrono::milliseconds(10), [&] {
-        return st.stop_requested() || !box.queue.empty();
+      std::unique_lock lock(sh.mu);
+      sh.cv.wait_for(lock, std::chrono::milliseconds(10), [&] {
+        return st.stop_requested() || !sh.queue.empty();
       });
       if (st.stop_requested()) return;
-      if (box.queue.empty()) continue;
-      item = std::move(box.queue.front());
-      box.queue.pop_front();
+      if (sh.queue.empty()) continue;
+      item = std::move(sh.queue.front());
+      sh.queue.pop_front();
     }
+    const ProcessId p = item.to;
     if (crashed_[p].load(std::memory_order_relaxed)) continue;
-    {
-      std::scoped_lock lock(metrics_mu_);
-      ++metrics_.messages_delivered;
+    if (max_batch_ > 0) {
+      // Deliver EVERY frame of the packet, then flush the receiver's send
+      // buffers once: a full batch advances several instances whose
+      // responses pack into full batches again (self-sustaining msgs/packet).
+      for (const BytesView frame : net::unpack_packet(item.payload)) {
+        deliver_one(p, item.from, Bytes(frame.begin(), frame.end()));
+      }
+      flush_sender(p);
+    } else {
+      deliver_one(p, item.from, item.payload);
     }
-    procs_[p]->on_message(ctx, item.first, item.second);
-    publish();
+    publish(p);
   }
 }
 
@@ -218,10 +306,10 @@ bool ThreadNetwork::run(std::chrono::milliseconds timeout) {
   APXA_ENSURE(!started_.exchange(true), "run() called twice");
 
   start_time_ = std::chrono::steady_clock::now();
-  threads_.reserve(params_.n);
-  for (ProcessId p = 0; p < params_.n; ++p) {
+  threads_.reserve(shard_count_);
+  for (std::uint32_t s = 0; s < shard_count_; ++s) {
     threads_.emplace_back(
-        [this, p](std::stop_token st) { deliver_loop(p, st); });
+        [this, s](std::stop_token st) { deliver_loop(s, st); });
   }
 
   const auto deadline = start_time_ + timeout;
@@ -242,7 +330,7 @@ bool ThreadNetwork::run(std::chrono::milliseconds timeout) {
   }
 
   for (auto& th : threads_) th.request_stop();
-  for (auto& box : boxes_) box->cv.notify_all();
+  for (auto& sh : shards_) sh->cv.notify_all();
   for (auto& th : threads_) {
     if (th.joinable()) th.join();
   }

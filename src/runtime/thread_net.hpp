@@ -5,20 +5,32 @@
 // asynchrony and carries real experiment traffic through the execution
 // harness (src/harness) via exec::ThreadBackend.
 //
-// Design: one jthread and one mailbox (mutex + condition variable) per party.
-// send() enqueues into the receiver's mailbox; each thread loops popping
-// messages and invoking on_message.  A party's Process is only ever touched
-// by its own thread.  Stop: request_stop() after the completion predicate
-// holds; threads drain and join (jthread joins on destruction — CP.25's
-// joining-thread discipline).
+// Design: delivery is SHARDED, not one-thread-per-party.  S worker threads
+// (S = min(n, hardware_concurrency) by default, override with set_shards)
+// each own an MPSC mailbox; party p is pinned to shard p % S, so hundreds of
+// parties — or one router party multiplexing hundreds of agreement
+// instances — do not cost hundreds of OS threads.  All upcalls into party
+// p's Process happen on its owning shard's thread, preserving the
+// single-threaded-per-process contract the one-thread-per-party design gave
+// for free.  send() enqueues into the receiver's shard; each shard loops
+// popping messages and invoking on_message.  Stop: request_stop() after the
+// completion predicate holds; threads drain and join (jthread joins on
+// destruction — CP.25's joining-thread discipline).
+//
+// Optional per-destination batching (enable_batching) buffers the frames a
+// party sends during one upcall and flushes them as one batch packet per
+// receiver (net/envelope.hpp framing) when the upcall returns; receivers
+// unpack and deliver the logical frames one by one.
 //
 // Fault injection mirrors the simulator's semantics so crash scenarios are
 // portable across backends:
 //   crash(p)                  — immediate: all future sends/deliveries drop;
-//   crash_after_sends(p, k)   — the party's first k sends go out, the (k+1)-th
-//                               is dropped and the party stops (a multicast in
-//                               progress reaches only the receivers already
-//                               sent to);
+//   crash_after_sends(p, k)   — the party's first k LOGICAL sends go out, the
+//                               (k+1)-th is dropped and the party stops (a
+//                               multicast in progress reaches only the
+//                               receivers already sent to; under batching the
+//                               count is frames, not packets, and pre-crash
+//                               buffered frames still flush);
 //   set_multicast_order(p, o) — receiver order used by p's multicasts, so the
 //                               adversary picks which subset a crashing
 //                               multicast reaches;
@@ -45,7 +57,7 @@ namespace apxa::rt {
 
 class ThreadNetwork final {
  public:
-  /// Per-process completion probe; evaluated by the party's own worker
+  /// Per-process completion probe; evaluated by the party's owning shard
   /// thread between upcalls, only while the party is correct.  Empty =
   /// "has produced an output".
   using DonePredicate = std::function<bool(const net::Process&)>;
@@ -63,8 +75,8 @@ class ThreadNetwork final {
   /// Safe to call while running.
   void crash(ProcessId p);
 
-  /// Crash `p` immediately before its (count+1)-th send (simulator-parity
-  /// semantics; count == 0 crashes it at startup).  Must precede run().
+  /// Crash `p` immediately before its (count+1)-th logical send (simulator-
+  /// parity semantics; count == 0 crashes it at startup).  Must precede run().
   void crash_after_sends(ProcessId p, std::uint64_t count);
 
   /// Override the receiver order used by p's multicasts.  Must precede run().
@@ -76,7 +88,15 @@ class ThreadNetwork final {
   /// Install the completion probe run() waits on.  Must precede run().
   void set_done_predicate(DonePredicate pred);
 
-  /// Start all threads, wait until every correct party satisfies the
+  /// Override the delivery shard count (default: min(n, hardware
+  /// concurrency)).  Must precede run().
+  void set_shards(std::uint32_t shards);
+
+  /// Enable per-destination send batching (cap `max_frames` <=
+  /// net::kMaxBatchFrames frames per packet).  Must precede run().
+  void enable_batching(std::uint32_t max_frames);
+
+  /// Start the shard workers, wait until every correct party satisfies the
   /// completion probe or the timeout elapses; then stop and join.  Returns
   /// true when all correct parties completed.
   bool run(std::chrono::milliseconds timeout);
@@ -88,6 +108,8 @@ class ThreadNetwork final {
   [[nodiscard]] std::vector<std::vector<double>> correct_vector_outputs() const;
   [[nodiscard]] const net::Metrics& metrics() const { return metrics_; }
   [[nodiscard]] SystemParams params() const { return params_; }
+  /// Shard count run() will use (resolved from n / hardware / set_shards).
+  [[nodiscard]] std::uint32_t shards() const;
 
   /// True when `p` neither crashed nor was marked byzantine.
   [[nodiscard]] bool is_correct(ProcessId p) const;
@@ -100,28 +122,46 @@ class ThreadNetwork final {
   [[nodiscard]] bool all_correct_output() const;
 
  private:
-  struct Mailbox {
+  struct Item {
+    ProcessId from;
+    ProcessId to;
+    Bytes payload;
+  };
+
+  /// One MPSC mailbox per shard: any shard's workers produce into it, only
+  /// the owning shard thread consumes.
+  struct Shard {
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<std::pair<ProcessId, Bytes>> queue;
+    std::deque<Item> queue;
   };
 
   class ContextImpl;
 
-  void deliver_loop(ProcessId p, std::stop_token st);
+  void deliver_loop(std::uint32_t shard, std::stop_token st);
+  void deliver_one(ProcessId p, ProcessId from, const Bytes& payload);
+  void publish(ProcessId p);
   void post(ProcessId from, ProcessId to, Bytes payload);
+  void post_packet(ProcessId from, ProcessId to, Bytes payload);
+  void flush_sender(ProcessId from);
+  [[nodiscard]] std::uint32_t shard_of(ProcessId p) const {
+    return p % shard_count_;
+  }
 
   SystemParams params_;
   std::vector<std::unique_ptr<net::Process>> procs_;
-  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint32_t shard_count_ = 1;                  // resolved in ctor
   std::vector<std::atomic<bool>> crashed_;
   std::vector<bool> byzantine_;                    // set before run()
   std::vector<std::atomic<std::uint64_t>> sends_made_;
   std::vector<std::uint64_t> send_limit_;          // kNoLimit if none
   std::vector<std::vector<ProcessId>> multicast_order_;
-  // Output/completion mirrors: each worker thread publishes its process's
+  std::uint32_t max_batch_ = 0;                    // 0 = batching off
+  std::vector<std::vector<std::vector<Bytes>>> batch_buf_;  // [from][to]
+  // Output/completion mirrors: each shard thread publishes its parties'
   // state here so the coordinator can poll without racing on Process state.
-  // output_vec_[p] and has_scalar_[p] are written once by p's worker before
+  // output_vec_[p] and has_scalar_[p] are written once by p's shard before
   // the has_output_[p] release-store and never mutated afterwards, so readers
   // that acquire-load the flag need no further synchronization.
   std::vector<std::atomic<bool>> has_output_;

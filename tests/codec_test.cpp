@@ -1,8 +1,11 @@
 // Wire-format round trips, malformed-input rejection, and probe behavior.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/codec.hpp"
 #include "core/multidim.hpp"  // decode_vec_round (wire tag 7)
+#include "net/envelope.hpp"
 
 namespace apxa::core {
 namespace {
@@ -124,6 +127,156 @@ TEST(Codec, TrailingGarbageRejected) {
   Bytes b = encode_round(RoundMsg{1, 2.0, 5});
   b.push_back(static_cast<std::byte>(0));
   EXPECT_FALSE(decode_round(b).has_value());
+}
+
+// --- instance envelope & batch framing (net/envelope.hpp) -------------------
+
+/// One representative encoded frame for EVERY protocol wire tag 1..10, so the
+/// envelope layer is exercised against the full frame zoo it must carry.
+std::vector<Bytes> sample_frames() {
+  std::vector<Bytes> frames;
+  frames.push_back(encode_round(RoundMsg{42, -3.75, 17}));          // tag 1
+  frames.push_back(encode_done(DoneMsg{7, 0.5}));                   // tag 2
+  for (MsgType t : {MsgType::kRbSend, MsgType::kRbEcho, MsgType::kRbReady}) {
+    frames.push_back(encode_rb(RbMsg{t, 9, 4, 2.25}));              // tags 3..5
+  }
+  ReportMsg rep;
+  rep.iter = 3;
+  rep.have = {true, false, true, true, false};
+  frames.push_back(encode_report(rep));                             // tag 6
+  frames.push_back(encode_vec_round(5, {1.0, -2.5, 3.25}));         // tag 7
+  for (MsgType t :
+       {MsgType::kRbVecSend, MsgType::kRbVecEcho, MsgType::kRbVecReady}) {
+    frames.push_back(encode_rb_vec(RbVecMsg{t, 6, 2, {1.5, -2.0}}));  // 8..10
+  }
+  return frames;
+}
+
+bool view_equals(BytesView view, const Bytes& expect) {
+  return view.size() == expect.size() &&
+         std::equal(view.begin(), view.end(), expect.begin());
+}
+
+TEST(Envelope, RoundTripCoversEveryTag) {
+  std::uint32_t inst = 0;
+  for (const Bytes& inner : sample_frames()) {
+    const Bytes wire = net::encode_envelope(inst, inner);
+    EXPECT_TRUE(net::is_envelope(wire));
+    const auto env = net::decode_envelope(wire);
+    ASSERT_TRUE(env.has_value());
+    EXPECT_EQ(env->instance, inst);
+    EXPECT_TRUE(view_equals(env->payload, inner));
+    inst = inst * 31 + 101;  // walks into multi-byte varint territory
+  }
+}
+
+TEST(Envelope, BatchRoundTripMixedFrames) {
+  // A batch may mix enveloped and legacy (bare) frames.
+  const auto inners = sample_frames();
+  std::vector<Bytes> frames;
+  for (std::size_t i = 0;
+       i < inners.size() && frames.size() + 1 < net::kMaxBatchFrames; ++i) {
+    frames.push_back(
+        net::encode_envelope(static_cast<std::uint32_t>(i), inners[i]));
+  }
+  frames.push_back(inners.back());  // one bare legacy frame
+  const Bytes packet = net::encode_batch(frames);
+  EXPECT_FALSE(net::is_envelope(packet));
+  const auto dec = net::decode_batch(packet);
+  ASSERT_TRUE(dec.has_value());
+  ASSERT_EQ(dec->size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_TRUE(view_equals((*dec)[i], frames[i]));
+  }
+}
+
+TEST(Envelope, TruncationTotality) {
+  // Every byte prefix of a valid envelope must decode to a value or nullopt,
+  // never throw — and whenever the prefix still parses as an envelope (the
+  // inner frame extends to the end, so truncation can land inside it), the
+  // truncated INNER frame must be rejected by the protocol decoder.
+  const Bytes inner = encode_round(RoundMsg{100000, 2.0, 5});
+  const Bytes env = net::encode_envelope(3000000, inner);  // multi-byte varint
+  for (std::size_t len = 0; len < env.size(); ++len) {
+    const BytesView prefix(env.data(), len);
+    const auto d = net::decode_envelope(prefix);
+    if (d.has_value()) {
+      EXPECT_FALSE(decode_round(d->payload).has_value());
+    }
+    // unpack_packet is total too: a non-batch prefix yields itself.
+    if (len > 0) {
+      EXPECT_EQ(net::unpack_packet(prefix).size(), 1u);
+    }
+  }
+
+  // Every strict prefix of a batch fails the exact-fill check.
+  std::vector<Bytes> frames;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    frames.push_back(net::encode_envelope(i, inner));
+  }
+  const Bytes packet = net::encode_batch(frames);
+  for (std::size_t len = 0; len < packet.size(); ++len) {
+    EXPECT_FALSE(net::decode_batch(BytesView(packet.data(), len)).has_value());
+  }
+
+  // The nastiest truncation: a bare tag byte and nothing else.
+  for (std::uint8_t tag : {net::kEnvelopeTag, net::kBatchTag}) {
+    const Bytes lone{static_cast<std::byte>(tag)};
+    EXPECT_FALSE(net::decode_envelope(lone).has_value());
+    EXPECT_FALSE(net::decode_batch(lone).has_value());
+  }
+}
+
+TEST(Envelope, BatchRefusesNesting) {
+  const Bytes env = net::encode_envelope(0, encode_done(DoneMsg{1, 2.0}));
+  const Bytes packet = net::encode_batch(std::vector<Bytes>{env});
+  // Encoder-side: batching a batch throws (programming error, not input).
+  EXPECT_THROW(net::encode_batch(std::vector<Bytes>{packet}),
+               std::invalid_argument);
+  // Decoder-side: a forged nested batch [12][1][len][batch...] is rejected.
+  Bytes forged;
+  forged.push_back(static_cast<std::byte>(net::kBatchTag));
+  forged.push_back(static_cast<std::byte>(1));  // count = 1
+  ASSERT_LT(packet.size(), 128u);
+  forged.push_back(static_cast<std::byte>(packet.size()));  // 1-byte varint len
+  forged.insert(forged.end(), packet.begin(), packet.end());
+  EXPECT_FALSE(net::decode_batch(forged).has_value());
+  // ...and unpack_packet hands the junk through whole rather than crashing.
+  EXPECT_EQ(net::unpack_packet(forged).size(), 1u);
+}
+
+TEST(Envelope, BatchEncodeValidatesUsage) {
+  const Bytes env = net::encode_envelope(0, encode_done(DoneMsg{1, 2.0}));
+  EXPECT_THROW(net::encode_batch(std::vector<Bytes>{}), std::invalid_argument);
+  EXPECT_THROW(net::encode_batch(std::vector<Bytes>{Bytes{}}),
+               std::invalid_argument);
+  std::vector<Bytes> over(net::kMaxBatchFrames + 1, env);
+  EXPECT_THROW(net::encode_batch(over), std::invalid_argument);
+  // A forged count of zero is rejected on decode.
+  const Bytes zero{static_cast<std::byte>(net::kBatchTag),
+                   static_cast<std::byte>(0)};
+  EXPECT_FALSE(net::decode_batch(zero).has_value());
+}
+
+TEST(Envelope, UnpackPacketSplitsBatchesOnly) {
+  const Bytes legacy = encode_round(RoundMsg{1, 2.0, 0});
+  const auto solo = net::unpack_packet(legacy);
+  ASSERT_EQ(solo.size(), 1u);
+  EXPECT_TRUE(view_equals(solo[0], legacy));
+
+  const Bytes env = net::encode_envelope(4, legacy);
+  const auto one = net::unpack_packet(env);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_TRUE(view_equals(one[0], env));
+
+  // Views alias the packet, so it must outlive them.
+  std::vector<Bytes> frames{env, legacy, net::encode_envelope(5, legacy)};
+  const Bytes batch = net::encode_batch(frames);
+  const auto many = net::unpack_packet(batch);
+  ASSERT_EQ(many.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_TRUE(view_equals(many[i], frames[i]));
+  }
 }
 
 TEST(Codec, ProbeDecodesRoundOnly) {

@@ -144,6 +144,74 @@ TEST(ThreadNet, CrashExactlyAtSendBudgetStopsReceiving) {
   EXPECT_EQ(net.correct_outputs().size(), 4u);
 }
 
+TEST(ThreadNet, CrashAfterSendsCountsLogicalSendsUnderBatching) {
+  // Send batching must not change crash semantics: the budget counts LOGICAL
+  // sends (frames), not packets, and pre-crash buffered frames still flush.
+  // Same scenario as CrashAfterSendsStopsMidMulticast, so the observable
+  // outcome must be identical with batching on.
+  const SystemParams p{5, 1};
+  ThreadNetwork net(p);
+  const Round rounds = 4;
+  for (ProcessId i = 0; i < p.n; ++i) {
+    net.add_process(std::make_unique<core::RoundAaProcess>(
+        core::crash_aa_config(p, static_cast<double>(i), rounds)));
+  }
+  net.enable_batching(8);
+  net.set_multicast_order(4, {0, 1, 2, 3});
+  net.crash_after_sends(4, 2);
+  ASSERT_TRUE(net.run(20s));
+  EXPECT_FALSE(net.is_correct(4));
+  const auto outs = net.correct_outputs();
+  ASSERT_EQ(outs.size(), 4u);
+  for (double y : outs) {
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 4.0);
+  }
+  // Frames 1 and 2 of the victim's round-0 multicast were buffered before
+  // the crash; both must still reach the wire and be counted as its sends.
+  EXPECT_EQ(net.metrics().sent_by[4], 2u);
+  EXPECT_EQ(net.metrics().messages_dropped, 2u);
+}
+
+TEST(ThreadNet, BatchingPreservesResultAndLogicalCounts) {
+  // The batched run converges to the same kind of verdict as unbatched, with
+  // identical LOGICAL message counts and strictly fewer-or-equal packets.
+  auto run_once = [](std::uint32_t batch) {
+    const SystemParams p{4, 1};
+    ThreadNetwork net(p);
+    for (ProcessId i = 0; i < p.n; ++i) {
+      net.add_process(std::make_unique<core::RoundAaProcess>(
+          core::crash_aa_config(p, static_cast<double>(i), 3)));
+    }
+    if (batch > 0) net.enable_batching(batch);
+    EXPECT_TRUE(net.run(10s));
+    EXPECT_EQ(net.correct_outputs().size(), p.n);
+    return net.metrics();
+  };
+  const auto plain = run_once(0);
+  const auto batched = run_once(8);
+  EXPECT_EQ(plain.messages_sent, 36u);
+  EXPECT_EQ(batched.messages_sent, 36u);
+  EXPECT_LE(batched.packets_sent, batched.messages_sent);
+  EXPECT_EQ(plain.packets_sent, plain.messages_sent);
+}
+
+TEST(ThreadNet, ShardedDeliveryConvergesWithFewShards) {
+  // More parties than delivery shards: the sharded mailbox must still give
+  // every party a single-threaded upcall stream and reach agreement.
+  const SystemParams p{7, 2};
+  ThreadNetwork net(p);
+  net.set_shards(2);
+  EXPECT_EQ(net.shards(), 2u);
+  const std::vector<double> inputs{0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  for (ProcessId i = 0; i < p.n; ++i) {
+    net.add_process(std::make_unique<core::RoundAaProcess>(
+        core::crash_aa_config(p, inputs[i], 5)));
+  }
+  ASSERT_TRUE(net.run(20s));
+  EXPECT_EQ(net.correct_outputs().size(), p.n);
+}
+
 TEST(ThreadNet, CrashAfterZeroSendsIsStartupCrash) {
   const SystemParams p{5, 1};
   ThreadNetwork net(p);

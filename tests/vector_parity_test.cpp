@@ -15,6 +15,7 @@
 #include "harness/build.hpp"
 #include "harness/harness.hpp"
 #include "harness/run_many.hpp"
+#include "harness/session.hpp"
 
 namespace apxa::harness {
 namespace {
@@ -139,6 +140,40 @@ TEST_P(VectorParity, ZeroRoundsOutputsInputs) {
   ASSERT_EQ(rep.outputs.size(), 4u);
   EXPECT_EQ(rep.metrics.messages_sent, 0u);
   EXPECT_TRUE(rep.box_validity_ok);
+}
+
+TEST_P(VectorParity, SessionMultiplexedInstancesKeepVerdicts) {
+  // Three concurrent vector instances multiplexed over one batched transport
+  // (harness::Session) must each satisfy the single-instance guarantees on
+  // both backends, with logical message counts identical to three serial
+  // runs (batching packs packets, never changes message complexity).
+  const SystemParams p{5, 1};
+  const Round rounds =
+      core::rounds_for_bound(1.0, 1e-2, core::Averager::kMean, p);
+  SessionOptions opts;
+  opts.batching = 8;
+  Session s(opts);
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    auto cfg = crash_base(p, 2, rounds);
+    Rng rng(17 + seed);
+    cfg.inputs = random_vector_inputs(rng, p.n, 2, 0.0, 1.0);
+    cfg.backend = GetParam();
+    cfg.thread_timeout = 60s;
+    s.add(cfg);
+  }
+  const SessionReport rep = s.run();
+  EXPECT_TRUE(rep.all_output);
+  EXPECT_EQ(rep.metrics.messages_sent,
+            3u * static_cast<std::uint64_t>(p.n) * (p.n - 1) * rounds);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(rep.vector_reports[i].has_value()) << "instance " << i;
+    const VectorRunReport& r = *rep.vector_reports[i];
+    EXPECT_TRUE(r.box_validity_ok) << "instance " << i;
+    EXPECT_TRUE(r.agreement_ok)
+        << "instance " << i << " gap " << r.worst_linf_gap;
+    ASSERT_EQ(r.outputs.size(), p.n);
+    for (const auto& out : r.outputs) EXPECT_EQ(out.size(), 2u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, VectorParity,
