@@ -15,6 +15,14 @@
 //
 // Finish-time units differ per backend (Delta units on sim, wall seconds on
 // thread) — compare p50/p99 within a backend, never across.
+//
+// APXA_F7_FULL=1 extends the K sweep to {1024, 4096} (minutes, kept out of
+// the CI smoke, which asserts the 16-row shape of the default sweep).  Two
+// further sections cover the PR 7 runtime work: `sim_parallel_identity`
+// re-runs a K=64 session on the parallel simulator and diffs every verdict
+// against the serial run (the bit-identity contract, gated in CI), and
+// `workers_scaling` sweeps the simulator worker pool and the stealing
+// executor's shard count at K=256.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -22,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -39,7 +48,9 @@ constexpr Round kRounds = 4;
 /// One service request: a small fixed-round crash-model instance.  Inputs
 /// vary per instance (only params/sched/seed/backend must be shared), so the
 /// instances are not trivially identical work items.
-harness::RunConfig instance_cfg(std::size_t k, harness::BackendKind backend) {
+harness::RunConfig instance_cfg(
+    std::size_t k, harness::BackendKind backend,
+    harness::SchedKind sched = harness::SchedKind::kRandom) {
   harness::RunConfig cfg;
   cfg.params = {kParties, kFaults};
   cfg.protocol = harness::ProtocolKind::kCrashRound;
@@ -47,7 +58,7 @@ harness::RunConfig instance_cfg(std::size_t k, harness::BackendKind backend) {
   cfg.fixed_rounds = kRounds;
   cfg.inputs =
       harness::linear_inputs(kParties, 0.0, 1.0 + 0.25 * (k % 8));
-  cfg.sched = harness::SchedKind::kRandom;
+  cfg.sched = sched;
   cfg.seed = 7;
   cfg.backend = backend;
   cfg.thread_timeout = std::chrono::milliseconds{120'000};
@@ -118,6 +129,74 @@ Cell run_cell(harness::BackendKind backend, std::uint32_t batching,
   return cell;
 }
 
+/// One timed session run for the PR 7 sections: FIFO scheduler (constant
+/// delays collapse each round burst into one simulator step, so the worker
+/// pool has real fan-out), cap-8 batching, explicit worker/shard knobs.
+struct TimedSession {
+  harness::SessionReport report;
+  double wall_ms = 0.0;
+};
+
+TimedSession run_timed_session(harness::BackendKind backend,
+                               std::size_t instances, std::uint32_t sim_workers,
+                               std::uint32_t shards, int reps) {
+  TimedSession best;
+  best.wall_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    harness::SessionOptions opts;
+    opts.batching = 8;
+    opts.force_multiplex = true;
+    opts.sim_workers = sim_workers;
+    opts.shards = shards;
+    harness::Session session(opts);
+    for (std::size_t k = 0; k < instances; ++k) {
+      session.add(instance_cfg(k, backend, harness::SchedKind::kFifo));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto report = session.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (!report.all_output) {
+      std::fprintf(stderr, "f7: backend=%d K=%zu workers=%u shards=%u failed\n",
+                   static_cast<int>(backend), instances, sim_workers, shards);
+      std::exit(1);
+    }
+    if (ms < best.wall_ms) {
+      best.wall_ms = ms;
+      best.report = std::move(report);
+    }
+  }
+  return best;
+}
+
+/// The bit-identity verdict the parallel simulator must satisfy: status,
+/// completion, every per-instance finish time and output, and the transport
+/// counters all byte-equal to the serial run.
+bool reports_identical(const harness::SessionReport& a,
+                       const harness::SessionReport& b) {
+  if (a.status != b.status || a.all_output != b.all_output) return false;
+  if (a.finish_times != b.finish_times) return false;
+  if (a.msgs_per_packet != b.msgs_per_packet) return false;
+  const auto& ma = a.metrics;
+  const auto& mb = b.metrics;
+  if (ma.messages_sent != mb.messages_sent ||
+      ma.packets_sent != mb.packets_sent ||
+      ma.messages_delivered != mb.messages_delivered ||
+      ma.payload_bytes != mb.payload_bytes ||
+      ma.sent_by_instance != mb.sent_by_instance) {
+    return false;
+  }
+  if (a.scalar_reports.size() != b.scalar_reports.size()) return false;
+  for (std::size_t i = 0; i < a.scalar_reports.size(); ++i) {
+    if (!a.scalar_reports[i] || !b.scalar_reports[i]) return false;
+    if (a.scalar_reports[i]->outputs != b.scalar_reports[i]->outputs ||
+        a.scalar_reports[i]->finish_time != b.scalar_reports[i]->finish_time) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,14 +214,20 @@ int main(int argc, char** argv) {
                       "inst_per_sec", "p50_finish", "p99_finish", "messages",
                       "packets", "msgs_per_packet"});
 
-  const std::size_t sweep[] = {1, 16, 64, 256};
+  // The CI smoke asserts the 16-row default shape; the thousands-scale
+  // points take minutes and are opt-in.
+  std::vector<std::size_t> sweep = {1, 16, 64, 256};
+  if (std::getenv("APXA_F7_FULL") != nullptr) {
+    sweep.push_back(1024);
+    sweep.push_back(4096);
+  }
   for (const auto backend :
        {harness::BackendKind::kSim, harness::BackendKind::kThread}) {
     const bool is_thread = backend == harness::BackendKind::kThread;
     for (const std::uint32_t batching : {0u, 8u}) {
       for (const std::size_t instances : sweep) {
         const Cell c = run_cell(backend, batching, instances,
-                                is_thread ? 3 : 1);
+                                is_thread ? (instances >= 1024 ? 1 : 3) : 1);
         std::printf("%s,%s,%zu,%.3f,%.1f,%.6f,%.6f,%llu,%llu,%.3f\n",
                     c.backend_name, c.mode_name, c.instances, c.wall_ms,
                     c.inst_per_sec, c.p50, c.p99,
@@ -163,5 +248,72 @@ int main(int argc, char** argv) {
       "climbs with K as round-0 bursts fill cap-8 packets; on the threaded\n"
       "runtime the batched rows win throughput at high K (fewer packets =>\n"
       "fewer shard-mailbox lock/wake cycles).\n");
+
+  // --- parallel simulator bit-identity (CI-gated) ---------------------------
+  //
+  // The same K=64 FIFO session on 1/2/4 simulator workers; every row's
+  // verdicts are diffed against the workers=1 baseline.  `identical` must
+  // read yes on every row — parallelism is a performance knob, never an
+  // observable one.
+  std::printf(
+      "\nsim_parallel_identity: K=64 FIFO session, verdicts vs workers=1\n"
+      "workers,wall_ms,inst_per_sec,p50_finish,p99_finish,messages,packets,"
+      "identical\n");
+  sink.begin_section("sim_parallel_identity",
+                     {"workers", "wall_ms", "inst_per_sec", "p50_finish",
+                      "p99_finish", "messages", "packets", "identical"});
+  constexpr std::size_t kIdentityK = 64;
+  harness::SessionReport identity_base;
+  for (const std::uint32_t workers : {1u, 2u, 4u}) {
+    const TimedSession ts = run_timed_session(harness::BackendKind::kSim,
+                                              kIdentityK, workers, 0, 1);
+    if (workers == 1) identity_base = ts.report;
+    const bool identical = reports_identical(identity_base, ts.report);
+    const double ips = static_cast<double>(kIdentityK) / (ts.wall_ms / 1e3);
+    const double p50 = percentile(ts.report.finish_times, 0.50);
+    const double p99 = percentile(ts.report.finish_times, 0.99);
+    std::printf("%u,%.3f,%.1f,%.6f,%.6f,%llu,%llu,%s\n", workers, ts.wall_ms,
+                ips, p50, p99,
+                static_cast<unsigned long long>(ts.report.metrics.messages_sent),
+                static_cast<unsigned long long>(ts.report.metrics.packets_sent),
+                identical ? "yes" : "NO");
+    sink.add_row({std::to_string(workers), bench::fmt(ts.wall_ms),
+                  bench::fmt(ips, 1), bench::fmt(p50, 6), bench::fmt(p99, 6),
+                  bench::fmt_u(ts.report.metrics.messages_sent),
+                  bench::fmt_u(ts.report.metrics.packets_sent),
+                  identical ? "yes" : "NO"});
+  }
+
+  // --- worker-pool scaling at K=256 -----------------------------------------
+  //
+  // Wall time as the parallelism knob grows: the simulator's step fan-out
+  // (sim_workers) and the stealing executor's worker count (shards).  Both
+  // runs are the batched FIFO session, so rows are comparable down columns
+  // within a backend.
+  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::uint32_t> pool_sizes = {1, 2, 4};
+  if (std::find(pool_sizes.begin(), pool_sizes.end(), hw) == pool_sizes.end()) {
+    pool_sizes.push_back(hw);
+  }
+  std::printf("\nworkers_scaling: K=256 FIFO batched session\n"
+              "backend,knob,value,wall_ms,inst_per_sec\n");
+  sink.begin_section("workers_scaling",
+                     {"backend", "knob", "value", "wall_ms", "inst_per_sec"});
+  constexpr std::size_t kScalingK = 256;
+  for (const auto backend :
+       {harness::BackendKind::kSim, harness::BackendKind::kThread}) {
+    const bool is_thread = backend == harness::BackendKind::kThread;
+    for (const std::uint32_t value : pool_sizes) {
+      const TimedSession ts = run_timed_session(
+          backend, kScalingK, is_thread ? 0 : value, is_thread ? value : 0,
+          is_thread ? 2 : 1);
+      const double ips = static_cast<double>(kScalingK) / (ts.wall_ms / 1e3);
+      std::printf("%s,%s,%u,%.3f,%.1f\n", is_thread ? "thread" : "sim",
+                  is_thread ? "shards" : "sim_workers", value, ts.wall_ms, ips);
+      sink.add_row({is_thread ? "thread" : "sim",
+                    is_thread ? "shards" : "sim_workers", std::to_string(value),
+                    bench::fmt(ts.wall_ms), bench::fmt(ips, 1)});
+    }
+  }
   return sink.finish();
 }

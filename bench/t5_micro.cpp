@@ -4,12 +4,17 @@
 // loop, reliable broadcast, and the analytic worst-case search.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <memory>
+
 #include "analysis/worst_case.hpp"
 #include "common/rng.hpp"
+#include "core/async_byz.hpp"
 #include "core/bounds.hpp"
 #include "core/codec.hpp"
 #include "core/epsilon_driver.hpp"
 #include "core/multiset_ops.hpp"
+#include "runtime/thread_net.hpp"
 
 namespace {
 
@@ -79,6 +84,54 @@ void BM_WitnessIteration(benchmark::State& state) {
   state.SetLabel("items = messages simulated");
 }
 BENCHMARK(BM_WitnessIteration)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ThreadStealExecutor(benchmark::State& state) {
+  // Steal/claim overhead of the work-stealing executor end to end: the same
+  // 8-party round protocol under 1 worker (no stealing possible), 2 and 4
+  // (constant contention on the per-party ownership tokens).  The spread
+  // between the Arg(1) and Arg(4) rows is the claim/steal + wakeup cost.
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  const SystemParams p{8, 2};
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    rt::ThreadNetwork net(p);
+    net.set_shards(shards);
+    for (ProcessId i = 0; i < p.n; ++i) {
+      net.add_process(std::make_unique<RoundAaProcess>(
+          crash_aa_config(p, static_cast<double>(i), 4)));
+    }
+    benchmark::DoNotOptimize(net.run(std::chrono::seconds(30)));
+    msgs += net.metrics().messages_delivered;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(msgs));
+  state.SetLabel("items = messages through the stealing executor");
+}
+BENCHMARK(BM_ThreadStealExecutor)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SimParallelStepBarrier(benchmark::State& state) {
+  // Per-step barrier cost of the deterministic parallel simulator: FIFO
+  // delays collapse each round burst into one step, so every step fans out
+  // across the worker pool and rejoins at the barrier.  Arg(1) is the
+  // serial event loop; the Arg(2)/Arg(4) deltas price the stage/commit
+  // machinery and the crew handshake per step.
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.params = {32, 10};
+    cfg.protocol = ProtocolKind::kCrashRound;
+    cfg.inputs = linear_inputs(32, 0.0, 1.0);
+    cfg.fixed_rounds = 4;
+    cfg.sched = SchedKind::kFifo;
+    cfg.sim_workers = workers;
+    const auto rep = run_async(cfg);
+    msgs += rep.metrics.messages_delivered;
+    benchmark::DoNotOptimize(rep.outputs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(msgs));
+  state.SetLabel("items = messages simulated");
+}
+BENCHMARK(BM_SimParallelStepBarrier)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_WorstCaseSearch(benchmark::State& state) {
   analysis::WorstCaseQuery q;

@@ -31,18 +31,18 @@ ExecResult SimBackend::run(const ExecOptions& opts) {
   const auto n = net_.params().n;
   net_.start();
 
-  auto all_correct_done = [this, n, &opts]() {
-    for (ProcessId p = 0; p < n; ++p) {
-      if (!net_.is_correct(p)) continue;
-      const net::Process& proc = net_.process(p);
-      const bool done = opts.done ? opts.done(proc) : proc.has_output();
-      if (!done) return false;
-    }
-    return true;
-  };
+  // Per-party probe: serially this reproduces the historical global
+  // all-correct-done conjunction byte for byte; with parallel workers the
+  // network fans scheduler steps out and stays bit-identical (see net/sim).
+  net::SimNetwork::PartyDone party_done;
+  if (opts.done) {
+    party_done = [&opts](ProcessId, const net::Process& proc) {
+      return opts.done(proc);
+    };
+  }
 
   ExecResult res;
-  res.status = net_.run_until(all_correct_done, opts.max_deliveries);
+  res.status = net_.run_until_done(party_done, opts.max_deliveries);
   res.all_correct_output = net_.all_correct_output();
   res.outputs = net_.correct_outputs();
   res.vector_outputs = net_.correct_vector_outputs();

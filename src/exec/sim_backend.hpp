@@ -24,6 +24,11 @@ class SimBackend final : public Backend {
   void crash_after_sends(ProcessId p, std::uint64_t count) override;
   void set_multicast_order(ProcessId p, std::vector<ProcessId> order) override;
   void enable_batching(std::uint32_t max_frames) override;
+  /// Deterministic within-run parallelism: fan scheduler steps across
+  /// `workers` threads (1 = serial; results are bit-identical either way).
+  void set_parallel_workers(std::uint32_t workers) {
+    net_.set_parallel_workers(workers);
+  }
   ExecResult run(const ExecOptions& opts) override;
 
   [[nodiscard]] SystemParams params() const override { return net_.params(); }

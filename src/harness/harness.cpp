@@ -19,8 +19,12 @@ namespace apxa::harness {
 
 std::unique_ptr<exec::Backend> make_backend(const RunConfig& cfg) {
   switch (cfg.backend) {
-    case BackendKind::kSim:
-      return std::make_unique<exec::SimBackend>(cfg.params, make_scheduler(cfg));
+    case BackendKind::kSim: {
+      auto b = std::make_unique<exec::SimBackend>(cfg.params, make_scheduler(cfg));
+      const std::uint32_t w = net::resolved_sim_workers(cfg.sim_workers);
+      if (w > 1) b->set_parallel_workers(w);
+      return b;
+    }
     case BackendKind::kThread:
       return std::make_unique<exec::ThreadBackend>(cfg.params);
   }
@@ -30,12 +34,16 @@ std::unique_ptr<exec::Backend> make_backend(const RunConfig& cfg) {
 RunReport execute(const RunConfig& cfg, exec::Backend& backend) {
   // Trace: values at round entry, per party.  Worker threads of the threaded
   // backend invoke the hook concurrently, hence the mutex (uncontended and
-  // irrelevant for timing on the simulator).
+  // irrelevant for timing on the simulator).  The write is routed through
+  // defer_side_effect so the parallel simulator can hold it back until the
+  // triggering delivery commits (immediate everywhere else).
   ScalarTrace trace;
   std::mutex trace_mu;
   core::TraceFn trace_fn = [&trace, &trace_mu](ProcessId p, Round r, double v) {
-    std::scoped_lock lock(trace_mu);
-    trace[r][p] = v;
+    net::SimNetwork::defer_side_effect([&trace, &trace_mu, p, r, v] {
+      std::scoped_lock lock(trace_mu);
+      trace[r][p] = v;
+    });
   };
 
   stage(cfg, trace_fn, backend);
@@ -107,8 +115,12 @@ RunReport run(const RunConfig& cfg) {
 
 std::unique_ptr<exec::Backend> make_backend(const VectorRunConfig& cfg) {
   switch (cfg.backend) {
-    case BackendKind::kSim:
-      return std::make_unique<exec::SimBackend>(cfg.params, make_scheduler(cfg));
+    case BackendKind::kSim: {
+      auto b = std::make_unique<exec::SimBackend>(cfg.params, make_scheduler(cfg));
+      const std::uint32_t w = net::resolved_sim_workers(cfg.sim_workers);
+      if (w > 1) b->set_parallel_workers(w);
+      return b;
+    }
     case BackendKind::kThread:
       return std::make_unique<exec::ThreadBackend>(cfg.params);
   }
@@ -118,13 +130,16 @@ std::unique_ptr<exec::Backend> make_backend(const VectorRunConfig& cfg) {
 VectorRunReport execute(const VectorRunConfig& cfg, exec::Backend& backend) {
   // Per-round vectors at round entry, per party; same concurrency contract
   // as the scalar trace (worker threads of the threaded backend invoke the
-  // hook concurrently).
+  // hook concurrently, and the parallel simulator defers the write until the
+  // triggering delivery commits).
   VectorTrace trace;
   std::mutex trace_mu;
   core::VecTraceFn trace_fn = [&trace, &trace_mu](ProcessId p, Round r,
                                                   const std::vector<double>& v) {
-    std::scoped_lock lock(trace_mu);
-    trace[r][p] = v;
+    net::SimNetwork::defer_side_effect([&trace, &trace_mu, p, r, v] {
+      std::scoped_lock lock(trace_mu);
+      trace[r][p] = v;
+    });
   };
 
   // Frozen-view trace (convex protocols only): what each honest party's
@@ -134,8 +149,10 @@ VectorRunReport execute(const VectorRunConfig& cfg, exec::Backend& backend) {
   core::ViewTraceFn view_fn =
       [&views, &views_mu](ProcessId p, Round r,
                           const std::vector<core::CollectEntry>& view) {
-        std::scoped_lock lock(views_mu);
-        views[r][p] = view;
+        net::SimNetwork::defer_side_effect([&views, &views_mu, p, r, view] {
+          std::scoped_lock lock(views_mu);
+          views[r][p] = view;
+        });
       };
 
   stage(cfg, trace_fn, backend, view_fn);

@@ -78,6 +78,10 @@ struct RunConfig {
   BackendKind backend = BackendKind::kSim;
   /// Wall-clock cap for the threaded backend (ignored by the simulator).
   std::chrono::milliseconds thread_timeout{20'000};
+  /// Simulator worker threads for within-run parallelism (bit-identical to
+  /// serial).  0 = resolve via APXA_SIM_WORKERS, default serial; see
+  /// net::resolved_sim_workers.  Ignored by the threaded backend.
+  std::uint32_t sim_workers = 0;
 };
 
 struct RunReport {
@@ -130,6 +134,10 @@ struct VectorRunConfig {
   BackendKind backend = BackendKind::kSim;
   /// Wall-clock cap for the threaded backend (ignored by the simulator).
   std::chrono::milliseconds thread_timeout{20'000};
+  /// Simulator worker threads for within-run parallelism (bit-identical to
+  /// serial).  0 = resolve via APXA_SIM_WORKERS, default serial; see
+  /// net::resolved_sim_workers.  Ignored by the threaded backend.
+  std::uint32_t sim_workers = 0;
 };
 
 struct VectorRunReport {

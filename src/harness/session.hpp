@@ -45,9 +45,13 @@ struct SessionOptions {
   /// Frames-per-packet cap for per-destination send batching; 0 = batching
   /// off.  Values are clamped nowhere — must be <= net::kMaxBatchFrames.
   std::uint32_t batching = 0;
-  /// Delivery shard count for the threaded backend; 0 = auto
+  /// Worker count for the threaded backend's stealing executor; 0 = auto
   /// (min(n, hardware_concurrency)).  Ignored by the simulator.
   std::uint32_t shards = 0;
+  /// Simulator worker threads for within-run parallelism (bit-identical to
+  /// serial); 0 = resolve via APXA_SIM_WORKERS, default serial.  Ignored by
+  /// the threaded backend.
+  std::uint32_t sim_workers = 0;
   /// Run the multiplexed router path even for a size-1 session (testing /
   /// benchmarking the envelope overhead); default is to delegate size-1
   /// sessions to plain harness::run.

@@ -15,6 +15,21 @@
 // Determinism: events are ordered by (delivery_time, sequence number), and
 // all randomness comes from seeded Rng instances, so a simulation replays
 // bit-identically from its configuration.
+//
+// Parallel execution (set_parallel_workers / APXA_SIM_WORKERS): within one
+// scheduler step — the set of pending events sharing the minimal delivery
+// time — deliveries to DISTINCT parties are independent, because an upcall
+// only mutates its own party's state and every send it produces lands
+// strictly later (delays are > 0).  run_until_done fans such steps out
+// across a worker pool with a barrier per step: workers run the upcalls and
+// stage each event's sends and deferred side effects; a serial commit walk
+// then replays the staged sends through the real do_send path in event-seq
+// order, so crash budgets, batching, scheduler delay/on_deliver calls and
+// duplication RNG draws happen in EXACTLY the serial order and parallel runs
+// are bit-identical to serial runs.  Steps the delivery budget could cut
+// short run serially (exact mid-step stop semantics); completion probes must
+// be monotone (once true for a process, true forever — the same contract
+// rt::ThreadNetwork's latched done flags already impose).
 #pragma once
 
 #include <cstdint>
@@ -36,6 +51,11 @@
 namespace apxa::net {
 
 enum class PartyStatus : std::uint8_t { kCorrect, kCrashed, kByzantine };
+
+/// Resolve a requested sim worker count: explicit request wins, else the
+/// APXA_SIM_WORKERS environment variable (positive integer), else 1 (serial).
+/// Symmetric with harness::sweep_workers / APXA_SWEEP_WORKERS.
+[[nodiscard]] std::uint32_t resolved_sim_workers(std::uint32_t requested);
 
 class SimNetwork final {
  public:
@@ -77,16 +97,50 @@ class SimNetwork final {
   /// unbatched path is byte-identical to pre-batching builds.
   void enable_batching(std::uint32_t max_frames);
 
+  /// Number of worker threads run_until_done may fan a scheduler step across.
+  /// 1 (the default) is the serial event loop; values > 1 enable the
+  /// deterministic parallel path (bit-identical results — see header
+  /// comment).  0 is rejected with an ensure error, never silently clamped;
+  /// use net::resolved_sim_workers to apply the APXA_SIM_WORKERS default.
+  void set_parallel_workers(std::uint32_t workers);
+  [[nodiscard]] std::uint32_t parallel_workers() const { return workers_; }
+
   /// Invoke on_start on every party (in id order) at time 0.
   void start();
 
   /// Deliver messages until the predicate holds, the queue drains, or the
   /// budget is exhausted.  The predicate is checked after every delivery.
+  /// Always serial: an opaque global predicate cannot be evaluated during a
+  /// fanned-out step (use run_until_done for the parallel path).
   RunStatus run_until(const std::function<bool()>& pred,
                       std::uint64_t max_deliveries = 50'000'000);
 
+  /// Per-party completion probe: `done(p, process(p))` is consulted only for
+  /// currently-correct parties and MUST be monotone (once true, true on
+  /// every later call).  May be called from worker threads in parallel mode;
+  /// it must only read the probed process.
+  using PartyDone = std::function<bool(ProcessId, const Process&)>;
+
+  /// Deliver until every correct party satisfies `done` (empty = "has
+  /// produced an output"), the queue drains, or the budget is exhausted.
+  /// With parallel_workers() == 1 this is exactly run_until over the
+  /// all-correct-done conjunction; with workers > 1 it fans scheduler steps
+  /// out and commits them serially — same results, bit for bit.  After a
+  /// parallel run stops mid-step (predicate satisfied), the network must not
+  /// be resumed: un-committed events are re-queued for status accounting,
+  /// but their upcalls have already speculatively run.
+  RunStatus run_until_done(const PartyDone& done,
+                           std::uint64_t max_deliveries = 50'000'000);
+
   /// Deliver until the queue drains (or budget).
   RunStatus run(std::uint64_t max_deliveries = 50'000'000);
+
+  /// Harness hooks that mutate state outside the simulator (trace maps, …)
+  /// from inside an upcall route their writes through here.  Serially this
+  /// runs `fn` immediately; inside a parallel-phase worker it is attached to
+  /// the current event and executed — in serial event order — iff that event
+  /// commits, which keeps overshoot upcalls invisible in collected traces.
+  static void defer_side_effect(std::function<void()> fn);
 
   /// True when every correct party has produced an output.
   [[nodiscard]] bool all_correct_output() const;
@@ -124,6 +178,23 @@ class SimNetwork final {
   };
 
   class ContextImpl;
+  class StageContext;
+  class Crew;
+
+  /// Staged record of one event's parallel-phase execution, committed (or
+  /// discarded) by the serial walk.
+  struct StagedSend {
+    ProcessId to;
+    Bytes payload;
+  };
+  struct EventRecord {
+    bool delivered = false;   // destination not crashed at its in-step turn
+    std::uint64_t frames = 0;  // logical frames delivered (metrics)
+    std::vector<StagedSend> sends;               // raw frames, upcall order
+    std::vector<std::function<void()>> effects;  // deferred side effects
+    bool output_after = false;  // process had output after this event
+    int done_after = -1;        // -1 not probed; else probe result 0/1
+  };
 
   void do_send(ProcessId from, ProcessId to, Bytes payload);
   void do_multicast(ProcessId from, const Bytes& payload);
@@ -131,6 +202,7 @@ class SimNetwork final {
   void flush_sender(ProcessId from);
   void apply_timed_crashes(double up_to);
   void note_outputs();
+  RunStatus run_parallel(const PartyDone& done, std::uint64_t max_deliveries);
 
   SystemParams params_;
   std::unique_ptr<sched::Scheduler> scheduler_;
@@ -151,8 +223,18 @@ class SimNetwork final {
   std::optional<Rng> duplication_rng_;
   std::uint32_t max_batch_ = 0;  // 0 = batching off
   std::vector<std::vector<std::vector<Bytes>>> batch_buf_;  // [from][to]
+  std::uint32_t workers_ = 1;
+
+  // In-step shadow state for the parallel phase: per-party copies of
+  // status/sends so a worker can decide drops and send-limit crashes for ITS
+  // party without touching the real accounting (the commit walk replays
+  // that).  Writes are owner-confined — party p's entries are only touched
+  // by the worker processing p's event group.
+  std::vector<PartyStatus> step_status_;
+  std::vector<std::uint64_t> step_sends_;
 
   static constexpr std::uint64_t kNoLimit = UINT64_MAX;
+  static constexpr std::uint32_t kMaxWorkers = 1024;
 };
 
 }  // namespace apxa::net

@@ -66,6 +66,7 @@ ThreadNetwork::ThreadNetwork(SystemParams params)
     shards_.push_back(std::make_unique<Shard>());
   }
   for (std::uint32_t i = 0; i < params_.n; ++i) {
+    mail_.push_back(std::make_unique<Mailbox>());
     crashed_[i] = false;
     sends_made_[i] = 0;
     has_output_[i] = false;
@@ -93,7 +94,6 @@ void ThreadNetwork::add_process(std::unique_ptr<net::Process> p) {
 void ThreadNetwork::crash(ProcessId p) {
   APXA_ENSURE(p < params_.n, "crash id out of range");
   crashed_[p] = true;
-  shards_[shard_of(p)]->cv.notify_all();
 }
 
 void ThreadNetwork::crash_after_sends(ProcessId p, std::uint64_t count) {
@@ -124,9 +124,15 @@ void ThreadNetwork::set_done_predicate(DonePredicate pred) {
 }
 
 void ThreadNetwork::set_shards(std::uint32_t shards) {
-  APXA_ENSURE(shards >= 1, "need at least one shard");
+  APXA_ENSURE(shards >= 1,
+              "set_shards: worker count must be >= 1 (0 is invalid; omit the "
+              "call to keep the min(n, hardware_concurrency) default)");
+  APXA_ENSURE(shards <= kMaxShards,
+              "set_shards: worker count exceeds kMaxShards (4096)");
   APXA_ENSURE(!started_.load(), "set_shards must precede run()");
-  shard_count_ = std::min(params_.n, shards);
+  // Workers beyond n are legal: extras simply idle and steal.  No silent
+  // clamping — shards() reports exactly what was requested.
+  shard_count_ = shards;
   shards_.clear();
   for (std::uint32_t s = 0; s < shard_count_; ++s) {
     shards_.push_back(std::make_unique<Shard>());
@@ -144,11 +150,11 @@ void ThreadNetwork::enable_batching(std::uint32_t max_frames) {
 std::uint32_t ThreadNetwork::shards() const { return shard_count_; }
 
 void ThreadNetwork::post(ProcessId from, ProcessId to, Bytes payload) {
-  // A party's sends all come from its owning shard thread, so the crash
-  // check, send counter and limit comparison need no cross-send
-  // synchronization.  The counter tracks LOGICAL sends — frames, not the
-  // packets batching later flushes — so crash_after_sends semantics are
-  // identical batched and unbatched.
+  // A party's sends all come from the thread currently holding its ownership
+  // token, so the crash check, send counter and limit comparison need no
+  // cross-send synchronization.  The counter tracks LOGICAL sends — frames,
+  // not the packets batching later flushes — so crash_after_sends semantics
+  // are identical batched and unbatched.
   if (crashed_[from].load(std::memory_order_relaxed)) {
     // Every send attempted by an already-crashed party counts as dropped
     // (same accounting on both backends — see net::SimNetwork::do_send).
@@ -163,11 +169,8 @@ void ThreadNetwork::post(ProcessId from, ProcessId to, Bytes payload) {
     // already buffered for batching were sent BEFORE the crash and still
     // flush — see flush_sender.
     crashed_[from].store(true, std::memory_order_relaxed);
-    {
-      std::scoped_lock lock(metrics_mu_);
-      ++metrics_.messages_dropped;
-    }
-    shards_[shard_of(from)]->cv.notify_all();
+    std::scoped_lock lock(metrics_mu_);
+    ++metrics_.messages_dropped;
     return;
   }
 
@@ -189,7 +192,6 @@ void ThreadNetwork::post(ProcessId from, ProcessId to, Bytes payload) {
   // whose budget covers all the sends it ever makes still stops receiving.
   if (made + 1 >= send_limit_[from]) {
     crashed_[from].store(true, std::memory_order_relaxed);
-    shards_[shard_of(from)]->cv.notify_all();
   }
 }
 
@@ -198,10 +200,24 @@ void ThreadNetwork::post_packet(ProcessId from, ProcessId to, Bytes payload) {
     std::scoped_lock lock(metrics_mu_);
     metrics_.note_send(from, payload);
   }
-  Shard& sh = *shards_[shard_of(to)];
+  Mailbox& mb = *mail_[to];
+  {
+    std::scoped_lock lock(mb.mu);
+    mb.queue.push_back(Item{from, to, std::move(payload)});
+  }
+  // Claim-at-enqueue: if nobody owns the receiver, this thread wins the
+  // token on its behalf and schedules it on its home shard.  If the exchange
+  // loses, the current owner's release-then-recheck will see the new item.
+  if (!mb.claimed.exchange(true, std::memory_order_acq_rel)) {
+    enqueue_runnable(home_shard(to), to);
+  }
+}
+
+void ThreadNetwork::enqueue_runnable(std::uint32_t shard, ProcessId p) {
+  Shard& sh = *shards_[shard];
   {
     std::scoped_lock lock(sh.mu);
-    sh.queue.push_back(Item{from, to, std::move(payload)});
+    sh.runnable.push_back(p);
   }
   sh.cv.notify_one();
 }
@@ -257,34 +273,61 @@ void ThreadNetwork::deliver_one(ProcessId p, ProcessId from,
   procs_[p]->on_message(ctx, from, payload);
 }
 
-void ThreadNetwork::deliver_loop(std::uint32_t shard, std::stop_token st) {
-  // Startup upcalls for the shard's parties, in id order.  Parties on other
-  // shards start concurrently; messages to a party whose on_start has not
-  // run yet simply wait in its shard queue (arbitrary asynchrony already
-  // allows that interleaving).
-  for (ProcessId p = shard; p < params_.n; p += shard_count_) {
-    if (st.stop_requested()) return;
-    if (crashed_[p].load(std::memory_order_relaxed)) continue;
-    ContextImpl ctx(*this, p);
-    procs_[p]->on_start(ctx);
-    flush_sender(p);
-    publish(p);
+bool ThreadNetwork::next_party(std::uint32_t shard, ProcessId& out,
+                               const std::stop_token& st) {
+  Shard& own = *shards_[shard];
+  while (!st.stop_requested()) {
+    {
+      std::scoped_lock lock(own.mu);
+      if (!own.runnable.empty()) {
+        out = own.runnable.front();
+        own.runnable.pop_front();
+        return true;
+      }
+    }
+    // Steal sweep: visit victims round-robin starting after ourselves and
+    // take from the BACK — the cold end, away from the owner's front pops.
+    for (std::uint32_t off = 1; off < shard_count_; ++off) {
+      Shard& victim = *shards_[(shard + off) % shard_count_];
+      std::scoped_lock lock(victim.mu);
+      if (!victim.runnable.empty()) {
+        out = victim.runnable.back();
+        victim.runnable.pop_back();
+        return true;
+      }
+    }
+    std::unique_lock lock(own.mu);
+    own.cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return st.stop_requested() || !own.runnable.empty();
+    });
+  }
+  return false;
+}
+
+void ThreadNetwork::run_party(std::uint32_t shard, ProcessId p,
+                              const std::stop_token& st) {
+  // Precondition: this thread holds p's ownership token (it dequeued p from
+  // a runnable deque, and every enqueue is paired with a won claim).
+  Mailbox& mb = *mail_[p];
+  if (!mb.started) {
+    mb.started = true;
+    if (!crashed_[p].load(std::memory_order_relaxed)) {
+      ContextImpl ctx(*this, p);
+      procs_[p]->on_start(ctx);
+      flush_sender(p);
+      publish(p);
+    }
   }
 
-  Shard& sh = *shards_[shard];
-  while (!st.stop_requested()) {
-    Item item;
-    {
-      std::unique_lock lock(sh.mu);
-      sh.cv.wait_for(lock, std::chrono::milliseconds(10), [&] {
-        return st.stop_requested() || !sh.queue.empty();
-      });
-      if (st.stop_requested()) return;
-      if (sh.queue.empty()) continue;
-      item = std::move(sh.queue.front());
-      sh.queue.pop_front();
-    }
-    const ProcessId p = item.to;
+  // Drain ONE batch per claim: new arrivals re-enqueue below, which keeps a
+  // hot party from monopolizing its worker while others sit runnable.
+  std::deque<Item> batch;
+  {
+    std::scoped_lock lock(mb.mu);
+    batch.swap(mb.queue);
+  }
+  for (Item& item : batch) {
+    if (st.stop_requested()) break;
     if (crashed_[p].load(std::memory_order_relaxed)) continue;
     if (max_batch_ > 0) {
       // Deliver EVERY frame of the packet, then flush the receiver's send
@@ -299,17 +342,47 @@ void ThreadNetwork::deliver_loop(std::uint32_t shard, std::stop_token st) {
     }
     publish(p);
   }
+
+  // Release-then-recheck: drop the token, then look again.  A message that
+  // raced in after the batch swap either (a) found claimed == true and left
+  // scheduling to us — the recheck claims and re-enqueues — or (b) won the
+  // claim itself and enqueued p.  Either way exactly one thread schedules p.
+  mb.claimed.store(false, std::memory_order_release);
+  bool reclaimed = false;
+  {
+    std::scoped_lock lock(mb.mu);
+    if (!mb.queue.empty()) {
+      reclaimed = !mb.claimed.exchange(true, std::memory_order_acq_rel);
+    }
+  }
+  // The party migrates: it re-enqueues on the shard that just ran it, not
+  // its home shard, so load follows the workers that have capacity.
+  if (reclaimed) enqueue_runnable(shard, p);
+}
+
+void ThreadNetwork::worker_loop(std::uint32_t shard, std::stop_token st) {
+  ProcessId p = 0;
+  while (next_party(shard, p, st)) {
+    run_party(shard, p, st);
+  }
 }
 
 bool ThreadNetwork::run(std::chrono::milliseconds timeout) {
   APXA_ENSURE(procs_.size() == params_.n, "add_process must be called n times");
   APXA_ENSURE(!started_.exchange(true), "run() called twice");
 
+  // Seed every party as runnable on its home shard, token pre-claimed; the
+  // first worker to dequeue it runs on_start before draining its mailbox.
+  for (ProcessId p = 0; p < params_.n; ++p) {
+    mail_[p]->claimed.store(true, std::memory_order_relaxed);
+    shards_[home_shard(p)]->runnable.push_back(p);
+  }
+
   start_time_ = std::chrono::steady_clock::now();
   threads_.reserve(shard_count_);
   for (std::uint32_t s = 0; s < shard_count_; ++s) {
     threads_.emplace_back(
-        [this, s](std::stop_token st) { deliver_loop(s, st); });
+        [this, s](std::stop_token st) { worker_loop(s, st); });
   }
 
   const auto deadline = start_time_ + timeout;

@@ -5,15 +5,22 @@
 // asynchrony and carries real experiment traffic through the execution
 // harness (src/harness) via exec::ThreadBackend.
 //
-// Design: delivery is SHARDED, not one-thread-per-party.  S worker threads
-// (S = min(n, hardware_concurrency) by default, override with set_shards)
-// each own an MPSC mailbox; party p is pinned to shard p % S, so hundreds of
-// parties — or one router party multiplexing hundreds of agreement
-// instances — do not cost hundreds of OS threads.  All upcalls into party
-// p's Process happen on its owning shard's thread, preserving the
-// single-threaded-per-process contract the one-thread-per-party design gave
-// for free.  send() enqueues into the receiver's shard; each shard loops
-// popping messages and invoking on_message.  Stop: request_stop() after the
+// Design: a WORK-STEALING executor, not static party→shard pinning.  Each of
+// the S worker threads (S = min(n, hardware_concurrency) by default, override
+// with set_shards) owns a deque of runnable parties.  Every party has a
+// private mailbox guarded by an atomic ownership token: whoever holds the
+// token is the only thread allowed to run upcalls into that party's Process,
+// so the single-threaded-per-process contract survives even though parties
+// migrate between workers.  send() pushes into the receiver's mailbox and, if
+// the receiver is not currently owned, claims the token and enqueues the
+// party on its home shard (p % S).  Workers drain their own deque from the
+// front and steal from other shards' backs when idle, so one hot party — or
+// one router party multiplexing hundreds of agreement instances — cannot
+// stall the parties that used to share its pinned shard.  After draining one
+// mailbox batch the owner releases the token and re-checks the mailbox,
+// re-claiming and re-enqueuing (onto ITS OWN deque — the party migrates to
+// the worker that last ran it) if messages raced in: the release-then-recheck
+// pattern closes the lost-wakeup window.  Stop: request_stop() after the
 // completion predicate holds; threads drain and join (jthread joins on
 // destruction — CP.25's joining-thread discipline).
 //
@@ -57,7 +64,7 @@ namespace apxa::rt {
 
 class ThreadNetwork final {
  public:
-  /// Per-process completion probe; evaluated by the party's owning shard
+  /// Per-process completion probe; evaluated by the party's current owner
   /// thread between upcalls, only while the party is correct.  Empty =
   /// "has produced an output".
   using DonePredicate = std::function<bool(const net::Process&)>;
@@ -88,15 +95,17 @@ class ThreadNetwork final {
   /// Install the completion probe run() waits on.  Must precede run().
   void set_done_predicate(DonePredicate pred);
 
-  /// Override the delivery shard count (default: min(n, hardware
-  /// concurrency)).  Must precede run().
+  /// Override the worker (shard) count — default min(n, hardware
+  /// concurrency).  Workers beyond n are legal (they idle and steal); 0 is
+  /// rejected with an ensure error, never silently clamped.  Must precede
+  /// run().
   void set_shards(std::uint32_t shards);
 
   /// Enable per-destination send batching (cap `max_frames` <=
   /// net::kMaxBatchFrames frames per packet).  Must precede run().
   void enable_batching(std::uint32_t max_frames);
 
-  /// Start the shard workers, wait until every correct party satisfies the
+  /// Start the workers, wait until every correct party satisfies the
   /// completion probe or the timeout elapses; then stop and join.  Returns
   /// true when all correct parties completed.
   bool run(std::chrono::milliseconds timeout);
@@ -108,7 +117,7 @@ class ThreadNetwork final {
   [[nodiscard]] std::vector<std::vector<double>> correct_vector_outputs() const;
   [[nodiscard]] const net::Metrics& metrics() const { return metrics_; }
   [[nodiscard]] SystemParams params() const { return params_; }
-  /// Shard count run() will use (resolved from n / hardware / set_shards).
+  /// Worker count run() will use (resolved from n / hardware / set_shards).
   [[nodiscard]] std::uint32_t shards() const;
 
   /// True when `p` neither crashed nor was marked byzantine.
@@ -128,29 +137,47 @@ class ThreadNetwork final {
     Bytes payload;
   };
 
-  /// One MPSC mailbox per shard: any shard's workers produce into it, only
-  /// the owning shard thread consumes.
+  /// Per-party mailbox.  `claimed` is the ownership token: the holder is the
+  /// only thread that may invoke upcalls on the party's Process or touch
+  /// `started`.  The release-store on token release and the acquire on the
+  /// next claim (exchange) carry the happens-before edge for all per-party
+  /// state between successive owners.
+  struct Mailbox {
+    std::mutex mu;
+    std::deque<Item> queue;
+    std::atomic<bool> claimed{false};
+    bool started = false;  // token-holder only: on_start issued?
+  };
+
+  /// Per-worker runnable deque: the owner pops from the front, idle workers
+  /// steal parties from the back.
   struct Shard {
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<Item> queue;
+    std::deque<ProcessId> runnable;
   };
 
   class ContextImpl;
 
-  void deliver_loop(std::uint32_t shard, std::stop_token st);
+  void worker_loop(std::uint32_t shard, std::stop_token st);
+  bool next_party(std::uint32_t shard, ProcessId& out, const std::stop_token& st);
+  void run_party(std::uint32_t shard, ProcessId p, const std::stop_token& st);
+  void enqueue_runnable(std::uint32_t shard, ProcessId p);
   void deliver_one(ProcessId p, ProcessId from, const Bytes& payload);
   void publish(ProcessId p);
   void post(ProcessId from, ProcessId to, Bytes payload);
   void post_packet(ProcessId from, ProcessId to, Bytes payload);
   void flush_sender(ProcessId from);
-  [[nodiscard]] std::uint32_t shard_of(ProcessId p) const {
+  /// Home shard — where a newly runnable party is first enqueued; it may
+  /// then migrate to whichever worker processes it.
+  [[nodiscard]] std::uint32_t home_shard(ProcessId p) const {
     return p % shard_count_;
   }
 
   SystemParams params_;
   std::vector<std::unique_ptr<net::Process>> procs_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Mailbox>> mail_;     // one per party
+  std::vector<std::unique_ptr<Shard>> shards_;     // one per worker
   std::uint32_t shard_count_ = 1;                  // resolved in ctor
   std::vector<std::atomic<bool>> crashed_;
   std::vector<bool> byzantine_;                    // set before run()
@@ -159,9 +186,9 @@ class ThreadNetwork final {
   std::vector<std::vector<ProcessId>> multicast_order_;
   std::uint32_t max_batch_ = 0;                    // 0 = batching off
   std::vector<std::vector<std::vector<Bytes>>> batch_buf_;  // [from][to]
-  // Output/completion mirrors: each shard thread publishes its parties'
+  // Output/completion mirrors: each owner thread publishes its parties'
   // state here so the coordinator can poll without racing on Process state.
-  // output_vec_[p] and has_scalar_[p] are written once by p's shard before
+  // output_vec_[p] and has_scalar_[p] are written once by p's owner before
   // the has_output_[p] release-store and never mutated afterwards, so readers
   // that acquire-load the flag need no further synchronization.
   std::vector<std::atomic<bool>> has_output_;
@@ -178,6 +205,7 @@ class ThreadNetwork final {
   std::atomic<bool> started_{false};
 
   static constexpr std::uint64_t kNoLimit = UINT64_MAX;
+  static constexpr std::uint32_t kMaxShards = 4096;
 };
 
 }  // namespace apxa::rt
