@@ -6,6 +6,8 @@
 // 1/log2(K).
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <iterator>
 
 #include "bench_util.hpp"
 #include "core/async_byz.hpp"
@@ -67,6 +69,40 @@ int main(int argc, char** argv) {
     sink.add_row({cells[i].name, std::to_string(cells[i].log_ratio),
                   std::to_string(cells[i].budget),
                   bench::fmt(reports[i].finish_time)});
+  }
+
+  // Per-tag delivery latency (virtual time send->deliver, Delta units) from
+  // each series' deepest-precision run — the one with the most deliveries,
+  // so the histogram tails are best populated.  The quantiles expose what
+  // the finish-time aggregate hides: which protocol PHASE pays the
+  // scheduler's tail (e.g. witness REPORT vs RB READY traffic).
+  static const char* const kTagNames[] = {
+      "unknown",  "ROUND",    "DONE",     "RB_SEND",     "RB_ECHO",
+      "RB_READY", "REPORT",   "VEC",      "RBVEC_SEND",  "RBVEC_ECHO",
+      "RBVEC_READY"};
+  std::printf("\nseries,tag,samples,p50,p99 (Delta units, deepest run)\n");
+  sink.begin_section("delivery_latency",
+                     {"series", "tag", "samples", "p50", "p99"});
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    // Last cell of a series: the next cell starts a new series (or the grid
+    // ends).
+    const bool last_of_series =
+        i + 1 == reports.size() ||
+        std::strcmp(cells[i].name, cells[i + 1].name) != 0;
+    if (!last_of_series) continue;
+    const net::Metrics& m = reports[i].metrics;
+    for (std::size_t tag = 0; tag <= net::Metrics::kMaxTag; ++tag) {
+      const std::uint64_t samples = m.latency_samples(tag);
+      if (samples == 0) continue;
+      const char* tname =
+          tag < std::size(kTagNames) ? kTagNames[tag] : "unknown";
+      const double p50 = m.latency_quantile(tag, 0.50);
+      const double p99 = m.latency_quantile(tag, 0.99);
+      std::printf("%s,%s,%llu,%.4f,%.4f\n", cells[i].name, tname,
+                  static_cast<unsigned long long>(samples), p50, p99);
+      sink.add_row({cells[i].name, tname, std::to_string(samples),
+                    bench::fmt(p50), bench::fmt(p99)});
+    }
   }
 
   std::printf(

@@ -30,12 +30,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/async_byz.hpp"
 #include "harness/session.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -139,7 +142,8 @@ struct TimedSession {
 
 TimedSession run_timed_session(harness::BackendKind backend,
                                std::size_t instances, std::uint32_t sim_workers,
-                               std::uint32_t shards, int reps) {
+                               std::uint32_t shards, int reps,
+                               obs::TraceSink* trace = nullptr) {
   TimedSession best;
   best.wall_ms = std::numeric_limits<double>::infinity();
   for (int rep = 0; rep < reps; ++rep) {
@@ -148,6 +152,7 @@ TimedSession run_timed_session(harness::BackendKind backend,
     opts.force_multiplex = true;
     opts.sim_workers = sim_workers;
     opts.shards = shards;
+    opts.trace = trace;
     harness::Session session(opts);
     for (std::size_t k = 0; k < instances; ++k) {
       session.add(instance_cfg(k, backend, harness::SchedKind::kFifo));
@@ -201,6 +206,13 @@ bool reports_identical(const harness::SessionReport& a,
 
 int main(int argc, char** argv) {
   bench::JsonSink sink(argc, argv, "f7");
+  // --trace-out <path>: dump the Chrome trace_event JSON of the traced
+  // K=256 sim session from the trace_overhead section (Perfetto-loadable;
+  // CI uploads it as the sample trace artifact).
+  const char* trace_out = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--trace-out") trace_out = argv[i + 1];
+  }
   std::printf(
       "F7 — Multi-instance AA service throughput vs concurrency.\n"
       "n=%u t=%u crash-model instances, %u fixed rounds each; finish times\n"
@@ -251,36 +263,50 @@ int main(int argc, char** argv) {
 
   // --- parallel simulator bit-identity (CI-gated) ---------------------------
   //
-  // The same K=64 FIFO session on 1/2/4 simulator workers; every row's
-  // verdicts are diffed against the workers=1 baseline.  `identical` must
-  // read yes on every row — parallelism is a performance knob, never an
-  // observable one.
+  // The same K=64 FIFO session on 1/2/4 simulator workers, run WITH tracing
+  // enabled; every row's verdicts are diffed against the workers=1 baseline
+  // and the committed protocol-event trace digest (obs::protocol_digest)
+  // must byte-match too.  `identical` must read yes on every row —
+  // parallelism is a performance knob, never an observable one, with or
+  // without the trace recorder attached.
   std::printf(
-      "\nsim_parallel_identity: K=64 FIFO session, verdicts vs workers=1\n"
+      "\nsim_parallel_identity: K=64 FIFO session (traced), verdicts vs "
+      "workers=1\n"
       "workers,wall_ms,inst_per_sec,p50_finish,p99_finish,messages,packets,"
-      "identical\n");
+      "trace_digest,identical\n");
   sink.begin_section("sim_parallel_identity",
                      {"workers", "wall_ms", "inst_per_sec", "p50_finish",
-                      "p99_finish", "messages", "packets", "identical"});
+                      "p99_finish", "messages", "packets", "trace_digest",
+                      "identical"});
   constexpr std::size_t kIdentityK = 64;
   harness::SessionReport identity_base;
+  std::uint64_t identity_digest = 0;
   for (const std::uint32_t workers : {1u, 2u, 4u}) {
+    obs::TraceSink trace;
     const TimedSession ts = run_timed_session(harness::BackendKind::kSim,
-                                              kIdentityK, workers, 0, 1);
-    if (workers == 1) identity_base = ts.report;
-    const bool identical = reports_identical(identity_base, ts.report);
+                                              kIdentityK, workers, 0, 1, &trace);
+    const std::uint64_t digest = obs::protocol_digest(trace.snapshot());
+    if (workers == 1) {
+      identity_base = ts.report;
+      identity_digest = digest;
+    }
+    const bool identical = reports_identical(identity_base, ts.report) &&
+                           digest == identity_digest;
     const double ips = static_cast<double>(kIdentityK) / (ts.wall_ms / 1e3);
     const double p50 = percentile(ts.report.finish_times, 0.50);
     const double p99 = percentile(ts.report.finish_times, 0.99);
-    std::printf("%u,%.3f,%.1f,%.6f,%.6f,%llu,%llu,%s\n", workers, ts.wall_ms,
+    char digest_hex[32];
+    std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                  static_cast<unsigned long long>(digest));
+    std::printf("%u,%.3f,%.1f,%.6f,%.6f,%llu,%llu,%s,%s\n", workers, ts.wall_ms,
                 ips, p50, p99,
                 static_cast<unsigned long long>(ts.report.metrics.messages_sent),
                 static_cast<unsigned long long>(ts.report.metrics.packets_sent),
-                identical ? "yes" : "NO");
+                digest_hex, identical ? "yes" : "NO");
     sink.add_row({std::to_string(workers), bench::fmt(ts.wall_ms),
                   bench::fmt(ips, 1), bench::fmt(p50, 6), bench::fmt(p99, 6),
                   bench::fmt_u(ts.report.metrics.messages_sent),
-                  bench::fmt_u(ts.report.metrics.packets_sent),
+                  bench::fmt_u(ts.report.metrics.packets_sent), digest_hex,
                   identical ? "yes" : "NO"});
   }
 
@@ -295,10 +321,14 @@ int main(int argc, char** argv) {
   if (std::find(pool_sizes.begin(), pool_sizes.end(), hw) == pool_sizes.end()) {
     pool_sizes.push_back(hw);
   }
-  std::printf("\nworkers_scaling: K=256 FIFO batched session\n"
-              "backend,knob,value,wall_ms,inst_per_sec\n");
+  std::printf(
+      "\nworkers_scaling: K=256 FIFO batched session (executor telemetry)\n"
+      "backend,knob,value,wall_ms,inst_per_sec,claims,steals,parties_run,"
+      "idle_spins,steps,fanned_steps,fanned_events\n");
   sink.begin_section("workers_scaling",
-                     {"backend", "knob", "value", "wall_ms", "inst_per_sec"});
+                     {"backend", "knob", "value", "wall_ms", "inst_per_sec",
+                      "claims", "steals", "parties_run", "idle_spins", "steps",
+                      "fanned_steps", "fanned_events"});
   constexpr std::size_t kScalingK = 256;
   for (const auto backend :
        {harness::BackendKind::kSim, harness::BackendKind::kThread}) {
@@ -308,11 +338,62 @@ int main(int argc, char** argv) {
           backend, kScalingK, is_thread ? 0 : value, is_thread ? value : 0,
           is_thread ? 2 : 1);
       const double ips = static_cast<double>(kScalingK) / (ts.wall_ms / 1e3);
-      std::printf("%s,%s,%u,%.3f,%.1f\n", is_thread ? "thread" : "sim",
-                  is_thread ? "shards" : "sim_workers", value, ts.wall_ms, ips);
+      const obs::ExecStats& es = ts.report.exec_stats;
+      std::printf("%s,%s,%u,%.3f,%.1f,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+                  is_thread ? "thread" : "sim",
+                  is_thread ? "shards" : "sim_workers", value, ts.wall_ms, ips,
+                  static_cast<unsigned long long>(es.claims),
+                  static_cast<unsigned long long>(es.steals),
+                  static_cast<unsigned long long>(es.parties_run),
+                  static_cast<unsigned long long>(es.idle_spins),
+                  static_cast<unsigned long long>(es.steps),
+                  static_cast<unsigned long long>(es.fanned_steps),
+                  static_cast<unsigned long long>(es.fanned_events));
       sink.add_row({is_thread ? "thread" : "sim",
                     is_thread ? "shards" : "sim_workers", std::to_string(value),
-                    bench::fmt(ts.wall_ms), bench::fmt(ips, 1)});
+                    bench::fmt(ts.wall_ms), bench::fmt(ips, 1),
+                    bench::fmt_u(es.claims), bench::fmt_u(es.steals),
+                    bench::fmt_u(es.parties_run), bench::fmt_u(es.idle_spins),
+                    bench::fmt_u(es.steps), bench::fmt_u(es.fanned_steps),
+                    bench::fmt_u(es.fanned_events)});
+    }
+  }
+
+  // --- trace-recording overhead (CI-gated via compare_bench.py) -------------
+  //
+  // The same K=256 batched FIFO session per backend with the recorder
+  // detached vs attached.  CI splits these rows into a synthetic before/after
+  // bench-document pair and fails the build if the `on` wall time regresses
+  // past the threshold — the macro-level complement of t5's per-event
+  // BM_TraceSinkRecord/BM_TraceSinkDisabled pins.
+  std::printf("\ntrace_overhead: K=256 FIFO batched session, recorder off vs on\n"
+              "backend,trace,wall_ms,inst_per_sec,events\n");
+  sink.begin_section("trace_overhead",
+                     {"backend", "trace", "wall_ms", "inst_per_sec", "events"});
+  for (const auto backend :
+       {harness::BackendKind::kSim, harness::BackendKind::kThread}) {
+    const bool is_thread = backend == harness::BackendKind::kThread;
+    for (const bool traced : {false, true}) {
+      obs::TraceSink trace;
+      const TimedSession ts =
+          run_timed_session(backend, kScalingK, 0, 0, is_thread ? 3 : 1,
+                            traced ? &trace : nullptr);
+      const double ips = static_cast<double>(kScalingK) / (ts.wall_ms / 1e3);
+      const std::uint64_t events = traced ? trace.recorded() : 0;
+      if (traced && !is_thread && trace_out != nullptr) {
+        if (!obs::write_text_file(trace_out,
+                                  obs::to_chrome_json(trace.snapshot()))) {
+          std::fprintf(stderr, "f7: failed to write trace to %s\n", trace_out);
+          return 1;
+        }
+        std::printf("(chrome trace written to %s)\n", trace_out);
+      }
+      std::printf("%s,%s,%.3f,%.1f,%llu\n", is_thread ? "thread" : "sim",
+                  traced ? "on" : "off", ts.wall_ms, ips,
+                  static_cast<unsigned long long>(events));
+      sink.add_row({is_thread ? "thread" : "sim", traced ? "on" : "off",
+                    bench::fmt(ts.wall_ms), bench::fmt(ips, 1),
+                    bench::fmt_u(events)});
     }
   }
   return sink.finish();

@@ -3,6 +3,14 @@
 #   <outdir>/BENCH_<id>.json  — machine-readable results (--json mode, or the
 #                               google-benchmark JSON reporter for t5)
 #   <outdir>/BENCH_<id>.txt   — the human-readable stdout tables
+# plus two sweep-level artifacts:
+#   <outdir>/BENCH_times.json     — per-driver wall-time summary (id, wall
+#                                   seconds, status) + sweep total, so slow
+#                                   drivers show up in trend diffs instead of
+#                                   anecdotes
+#   <outdir>/BENCH_f7_trace.json  — Chrome trace_event dump of f7's traced
+#                                   K=256 sim session (Perfetto-loadable; CI
+#                                   uploads it as the sample trace artifact)
 #
 # Usage: run_all.sh <bench-bin-dir> [outdir]
 #
@@ -20,16 +28,22 @@ mkdir -p "$outdir"
 ids="t1 t2 t3 t4 t5 t6 t7 f1 f2 f3 f4 f5 f6 f7"
 [ -n "${APXA_BENCH_ONLY:-}" ] && ids=$APXA_BENCH_ONLY
 
+now_ms() { date +%s%3N; }
+
 failed=0
+times_rows=""
+sweep_start=$(now_ms)
 for id in $ids; do
   matches=("$bindir/${id}_"*)
   exe=${matches[0]}
   if [ ! -x "$exe" ]; then
     if [ "$id" = t5 ] && [ "${APXA_HAVE_T5:-1}" = 0 ]; then
       echo "== $id: skipped (google-benchmark not available)"
+      times_rows="$times_rows{\"id\":\"$id\",\"wall_s\":0,\"status\":\"skipped\"},"
       continue
     fi
     echo "== $id: MISSING binary under $bindir" >&2
+    times_rows="$times_rows{\"id\":\"$id\",\"wall_s\":0,\"status\":\"missing\"},"
     failed=1
     continue
   fi
@@ -37,20 +51,38 @@ for id in $ids; do
   json=$outdir/BENCH_$id.json
   txt=$outdir/BENCH_$id.txt
   echo "== $id: $(basename "$exe") -> $json"
+  t0=$(now_ms)
   if [ "$id" = t5 ]; then
     args=(--benchmark_out="$json" --benchmark_out_format=json)
     [ -n "${APXA_T5_MIN_TIME:-}" ] && args+=(--benchmark_min_time="$APXA_T5_MIN_TIME")
     "$exe" "${args[@]}" >"$txt" 2>&1
+  elif [ "$id" = f7 ]; then
+    # f7 additionally dumps the Chrome trace of its traced K=256 sim session.
+    "$exe" --json "$json" --trace-out "$outdir/BENCH_f7_trace.json" >"$txt" 2>&1
   else
     "$exe" --json "$json" >"$txt" 2>&1
   fi
   status=$?
+  t1=$(now_ms)
+  wall_s=$(awk "BEGIN{printf \"%.3f\", ($t1 - $t0) / 1000.0}")
   if [ $status -ne 0 ] || [ ! -s "$json" ]; then
     echo "== $id: FAILED (exit $status); last output lines:" >&2
     tail -n 20 "$txt" >&2
+    times_rows="$times_rows{\"id\":\"$id\",\"wall_s\":$wall_s,\"status\":\"failed\"},"
     failed=1
+  else
+    times_rows="$times_rows{\"id\":\"$id\",\"wall_s\":$wall_s,\"status\":\"ok\"},"
   fi
 done
+sweep_end=$(now_ms)
+total_s=$(awk "BEGIN{printf \"%.3f\", ($sweep_end - $sweep_start) / 1000.0}")
+
+# Per-driver wall-time summary.  Not a BENCH_<id> results document: tooling
+# that globs BENCH_*.json for driver output must skip this file (and the f7
+# trace artifact) — CI's schema gate does.
+printf '{"bench_wall_times":[%s],"total_s":%s}\n' \
+  "${times_rows%,}" "$total_s" >"$outdir/BENCH_times.json"
+echo "per-driver wall times -> $outdir/BENCH_times.json (total ${total_s}s)"
 
 if [ $failed -ne 0 ]; then
   echo "bench sweep: FAILURES (see above)" >&2

@@ -14,6 +14,7 @@
 #include "core/codec.hpp"
 #include "core/epsilon_driver.hpp"
 #include "core/multiset_ops.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_net.hpp"
 
 namespace {
@@ -132,6 +133,45 @@ void BM_SimParallelStepBarrier(benchmark::State& state) {
   state.SetLabel("items = messages simulated");
 }
 BENCHMARK(BM_SimParallelStepBarrier)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_TraceSinkRecord(benchmark::State& state) {
+  // Hot-path cost of one enabled record(): thread-local ring lookup, one
+  // relaxed fetch_add for the merge ticket, a wall-clock read, and seven
+  // stores into the ring slot.  This is the per-event price every traced
+  // transport send/deliver pays; the macro-level budget it must fit under
+  // is f7's trace_overhead section (< 5% on the K=256 thread row).
+  obs::TraceSink sink;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    sink.record(obs::EventKind::kSend, 1, 2, static_cast<std::int64_t>(n),
+                0.5, 1.0);
+    ++n;
+  }
+  benchmark::DoNotOptimize(sink.recorded());
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+  state.SetLabel("items = events recorded");
+}
+BENCHMARK(BM_TraceSinkRecord);
+
+void BM_TraceSinkDisabled(benchmark::State& state) {
+  // The disabled path as every call site compiles it: a null-pointer test
+  // and nothing else.  Pair with BM_TraceSinkRecord — the delta is the
+  // whole cost tracing adds when it is off, and it must stay branch-only.
+  obs::TraceSink* sink = nullptr;
+  benchmark::DoNotOptimize(sink);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    if (sink) {
+      sink->record(obs::EventKind::kSend, 1, 2, static_cast<std::int64_t>(n),
+                   0.5, 1.0);
+    }
+    benchmark::DoNotOptimize(n);
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+  state.SetLabel("items = disabled-path branches");
+}
+BENCHMARK(BM_TraceSinkDisabled);
 
 void BM_WorstCaseSearch(benchmark::State& state) {
   analysis::WorstCaseQuery q;

@@ -6,14 +6,35 @@
 // std::logic_error; a failure indicates a bug in the library itself.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace apxa::detail {
 
+// Observers (the obs flight recorder) can register a hook that runs before
+// the exception is thrown — e.g. to dump the event trace that led here.
+// `kind` is "precondition" or "invariant".  The hook must not throw.
+using FailureHook = void (*)(const char* kind, const char* expr,
+                             const char* file, int line,
+                             const std::string& what);
+
+inline std::atomic<FailureHook>& failure_hook() {
+  static std::atomic<FailureHook> hook{nullptr};
+  return hook;
+}
+
+inline void notify_failure(const char* kind, const char* expr, const char* file,
+                           int line, const std::string& what) {
+  if (auto* h = failure_hook().load(std::memory_order_acquire)) {
+    h(kind, expr, file, line, what);
+  }
+}
+
 [[noreturn]] inline void throw_ensure(const char* expr, const char* file, int line,
                                       const std::string& what) {
+  notify_failure("precondition", expr, file, line, what);
   std::ostringstream os;
   os << "precondition failed: " << expr << " at " << file << ':' << line;
   if (!what.empty()) os << " (" << what << ')';
@@ -22,6 +43,7 @@ namespace apxa::detail {
 
 [[noreturn]] inline void throw_assert(const char* expr, const char* file, int line,
                                       const std::string& what) {
+  notify_failure("invariant", expr, file, line, what);
   std::ostringstream os;
   os << "invariant violated: " << expr << " at " << file << ':' << line;
   if (!what.empty()) os << " (" << what << ')';

@@ -6,10 +6,25 @@
 #include "common/ensure.hpp"
 #include "core/codec.hpp"
 #include "core/multidim.hpp"
+#include "net/sim.hpp"
 
 namespace apxa::core {
 
 namespace {
+
+// Record the freeze against the committed serial event order: the engine may
+// fire inside a staged parallel-sim upcall, where a direct record would land
+// in worker-thread order.  defer_side_effect holds it until the triggering
+// delivery commits (and is an immediate call everywhere else).
+void note_view_freeze(obs::TraceSink* trace, ProcessId owner, Round r,
+                      std::size_t view_size) {
+  if (!trace) return;
+  net::SimNetwork::defer_side_effect([trace, owner, r, view_size] {
+    trace->record(obs::EventKind::kViewFreeze, owner, 0,
+                  static_cast<std::int64_t>(r),
+                  static_cast<double>(view_size), 0.0);
+  });
+}
 
 // --- quorum collect ---------------------------------------------------------
 //
@@ -20,11 +35,12 @@ namespace {
 class QuorumCollector final : public Collector {
  public:
   QuorumCollector(SystemParams params, std::uint32_t dim, Round max_rounds,
-                  ViewFn on_view)
+                  ViewFn on_view, obs::TraceSink* trace)
       : params_(params),
         dim_(dim),
         max_rounds_(max_rounds),
-        view_(std::move(on_view)) {}
+        view_(std::move(on_view)),
+        trace_(trace) {}
 
   void begin_round(net::Context& ctx, Round r,
                    const std::vector<double>& value) override {
@@ -101,6 +117,7 @@ class QuorumCollector final : public Collector {
       // Move the view out: begin_round re-entry erases the slot.
       const std::vector<CollectEntry> view = std::move(it->second.entries);
       const Round fired_round = round_;
+      note_view_freeze(trace_, ctx.self(), fired_round, view.size());
       view_(ctx, fired_round, view);
       if (round_ == fired_round) break;  // owner did not advance
     }
@@ -114,6 +131,7 @@ class QuorumCollector final : public Collector {
   std::map<Round, Slot> slots_;
   Round round_ = 0;
   bool firing_ = false;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 // --- equalized collect ------------------------------------------------------
@@ -136,11 +154,12 @@ class QuorumCollector final : public Collector {
 class EqualizedCollector final : public Collector {
  public:
   EqualizedCollector(SystemParams params, std::uint32_t dim, Round max_rounds,
-                     ViewFn on_view)
+                     ViewFn on_view, obs::TraceSink* trace)
       : params_(params),
         dim_(dim),
         max_rounds_(max_rounds),
         view_(std::move(on_view)),
+        trace_(trace),
         hub_(params, [this](net::Context& ctx, std::uint32_t instance,
                             ProcessId origin, const std::vector<double>& value) {
           on_deliver(ctx, instance, origin, value);
@@ -254,6 +273,7 @@ class EqualizedCollector final : public Collector {
         view.reserve(st.delivered.size());
         for (const auto& [origin, v] : st.delivered) view.push_back({origin, v});
         const Round fired_round = round_;
+        note_view_freeze(trace_, self_, fired_round, view.size());
         view_(ctx, fired_round, view);
         // If the ViewFn advanced the round, loop to drive the new one.
         progressed = round_ != fired_round;
@@ -266,6 +286,7 @@ class EqualizedCollector final : public Collector {
   std::uint32_t dim_;
   Round max_rounds_;
   ViewFn view_;
+  obs::TraceSink* trace_ = nullptr;
   rb::VecBrachaHub hub_;
   std::map<Round, RoundState> rounds_;
   Round round_ = 0;
@@ -277,16 +298,17 @@ class EqualizedCollector final : public Collector {
 
 std::unique_ptr<Collector> make_collector(CollectMode mode, SystemParams params,
                                           std::uint32_t dim, Round max_rounds,
-                                          Collector::ViewFn on_view) {
+                                          Collector::ViewFn on_view,
+                                          obs::TraceSink* trace) {
   APXA_ENSURE(on_view != nullptr, "collect view callback required");
   APXA_ENSURE(dim >= 1, "dimension must be positive");
   switch (mode) {
     case CollectMode::kQuorum:
       return std::make_unique<QuorumCollector>(params, dim, max_rounds,
-                                               std::move(on_view));
+                                               std::move(on_view), trace);
     case CollectMode::kEqualized:
       return std::make_unique<EqualizedCollector>(params, dim, max_rounds,
-                                                  std::move(on_view));
+                                                  std::move(on_view), trace);
   }
   APXA_ASSERT(false, "unknown collect mode");
 }

@@ -63,6 +63,7 @@
 
 #include "common/ids.hpp"
 #include "net/process.hpp"
+#include "obs/trace.hpp"
 #include "rb/bracha.hpp"
 
 namespace apxa::core {
@@ -110,9 +111,14 @@ class Collector {
 /// it, and without the bound a byzantine peer could grow per-round state
 /// (and, in the equalized engine, provoke Theta(n^2) echo traffic per
 /// forged RB instance) without limit.  The equalized engine requires
-/// params.n > 3t (Bracha's bound).
+/// params.n > 3t (Bracha's bound).  `trace` (optional, must outlive the
+/// engine) records an obs::EventKind::kViewFreeze event each time a round's
+/// view freezes — party = owner, round = r, value = frozen-view size — routed
+/// through net::SimNetwork::defer_side_effect so traced parallel-sim runs
+/// stay bit-identical to serial ones.
 std::unique_ptr<Collector> make_collector(CollectMode mode, SystemParams params,
                                           std::uint32_t dim, Round max_rounds,
-                                          Collector::ViewFn on_view);
+                                          Collector::ViewFn on_view,
+                                          obs::TraceSink* trace = nullptr);
 
 }  // namespace apxa::core

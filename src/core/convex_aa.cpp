@@ -16,7 +16,8 @@ ConvexVectorProcess::ConvexVectorProcess(ConvexAaConfig cfg) : cfg_(std::move(cf
       cfg_.collect, cfg_.params, cfg_.dim, cfg_.fixed_rounds,
       [this](net::Context& ctx, Round r, const std::vector<CollectEntry>& view) {
         on_view(ctx, r, view);
-      });
+      },
+      cfg_.trace_sink);
 }
 
 void ConvexVectorProcess::on_start(net::Context& ctx) {

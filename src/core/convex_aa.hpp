@@ -72,6 +72,10 @@ struct ConvexAaConfig {
   geom::SafeAreaOptions safe_area;  ///< LP tolerance / enumeration budget
   VecTraceFn trace;                 ///< optional observation hook
   ViewTraceFn view_trace;           ///< optional frozen-view hook
+  /// Optional obs sink handed to the collect engine: records a kViewFreeze
+  /// event per frozen round view (see core/collect.hpp).  Must outlive the
+  /// process.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// Round-based convex-validity AA process for R^d (fixed-round termination).

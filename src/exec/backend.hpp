@@ -28,6 +28,8 @@
 #include "net/metrics.hpp"
 #include "net/process.hpp"
 #include "net/status.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace apxa::exec {
 
@@ -69,6 +71,9 @@ struct ExecResult {
   /// parties are false).  Size n.
   std::vector<bool> correct;
   net::Metrics metrics;
+  /// Executor telemetry: work-stealing counters on the threaded backend,
+  /// step-parallelism counters on the simulator.  Zeros on serial sim runs.
+  obs::ExecStats exec_stats;
 };
 
 class Backend {
@@ -99,6 +104,11 @@ class Backend {
   /// sends.  Must precede run(); off by default (the unbatched path is
   /// byte-identical to pre-batching builds).
   virtual void enable_batching(std::uint32_t max_frames) = 0;
+
+  /// Attach an obs::TraceSink the transport records events into (null
+  /// disables tracing).  The sink must outlive the backend; call before
+  /// run().  Default: no-op, for backends without trace support.
+  virtual void set_trace(obs::TraceSink* sink) { (void)sink; }
 
   /// Execute until every correct party satisfies the completion probe, the
   /// simulator queue drains, or a budget/timeout is hit.

@@ -47,6 +47,7 @@ ExecResult SimBackend::run(const ExecOptions& opts) {
   res.outputs = net_.correct_outputs();
   res.vector_outputs = net_.correct_vector_outputs();
   res.metrics = net_.metrics();
+  res.exec_stats = net_.exec_stats();
   res.correct.resize(n);
   res.output_times.resize(n);
   for (ProcessId p = 0; p < n; ++p) {

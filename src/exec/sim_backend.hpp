@@ -29,6 +29,7 @@ class SimBackend final : public Backend {
   void set_parallel_workers(std::uint32_t workers) {
     net_.set_parallel_workers(workers);
   }
+  void set_trace(obs::TraceSink* sink) override { net_.set_trace(sink); }
   ExecResult run(const ExecOptions& opts) override;
 
   [[nodiscard]] SystemParams params() const override { return net_.params(); }

@@ -22,6 +22,7 @@ class ThreadBackend final : public Backend {
   void crash_after_sends(ProcessId p, std::uint64_t count) override;
   void set_multicast_order(ProcessId p, std::vector<ProcessId> order) override;
   void enable_batching(std::uint32_t max_frames) override;
+  void set_trace(obs::TraceSink* sink) override { net_.set_trace(sink); }
   ExecResult run(const ExecOptions& opts) override;
 
   [[nodiscard]] SystemParams params() const override { return net_.params(); }

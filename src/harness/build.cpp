@@ -249,6 +249,7 @@ std::vector<std::unique_ptr<net::Process>> build_processes(
                              : core::CollectMode::kQuorum;
       cc.trace = trace;
       cc.view_trace = view_trace;
+      cc.trace_sink = cfg.trace;
       procs.push_back(std::make_unique<core::ConvexVectorProcess>(cc));
       continue;
     }

@@ -14,8 +14,24 @@
 #include "geom/geom.hpp"
 #include "geom/safe_area.hpp"
 #include "harness/build.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace apxa::harness {
+
+namespace {
+
+// Verdict-failure flight dump: opt-in via cfg.flight_dump + cfg.trace.  Runs
+// in finalize, after the backend has returned (workers joined / crew parked),
+// so the snapshot races with nothing.
+void maybe_dump_flight(const obs::TraceSink* sink, const std::string& path,
+                       bool validity_ok, bool agreement_ok) {
+  if (!sink || path.empty() || (validity_ok && agreement_ok)) return;
+  const char* reason = !validity_ok ? "validity verdict failed"
+                                    : "eps-agreement verdict failed";
+  obs::dump_flight_record(sink, path, reason);
+}
+
+}  // namespace
 
 std::unique_ptr<exec::Backend> make_backend(const RunConfig& cfg) {
   switch (cfg.backend) {
@@ -39,13 +55,20 @@ RunReport execute(const RunConfig& cfg, exec::Backend& backend) {
   // triggering delivery commits (immediate everywhere else).
   ScalarTrace trace;
   std::mutex trace_mu;
-  core::TraceFn trace_fn = [&trace, &trace_mu](ProcessId p, Round r, double v) {
-    net::SimNetwork::defer_side_effect([&trace, &trace_mu, p, r, v] {
+  obs::TraceSink* sink = cfg.trace;
+  core::TraceFn trace_fn = [&trace, &trace_mu, sink](ProcessId p, Round r,
+                                                     double v) {
+    net::SimNetwork::defer_side_effect([&trace, &trace_mu, sink, p, r, v] {
+      if (sink) {
+        sink->record(obs::EventKind::kRoundAdvance, p, 0,
+                     static_cast<std::int64_t>(r), v, 0.0);
+      }
       std::scoped_lock lock(trace_mu);
       trace[r][p] = v;
     });
   };
 
+  backend.set_trace(cfg.trace);
   stage(cfg, trace_fn, backend);
 
   exec::ExecOptions opts;
@@ -64,6 +87,7 @@ RunReport finalize(const RunConfig& cfg, const exec::ExecResult& res,
   rep.all_output = res.all_correct_output;
   rep.outputs = res.outputs;
   rep.metrics = res.metrics;
+  rep.exec_stats = res.exec_stats;
 
   // Validity hull: inputs of every non-byzantine party (crash faults do not
   // lie, so crashed parties' genuine inputs legitimately bound outputs).
@@ -105,6 +129,8 @@ RunReport finalize(const RunConfig& cfg, const exec::ExecResult& res,
     const double b = rep.spread_by_round[r + 1];
     if (a > 0.0 && b > 0.0) rep.round_factors.push_back(a / b);
   }
+  maybe_dump_flight(cfg.trace, cfg.flight_dump, rep.validity_ok,
+                    rep.agreement_ok);
   return rep;
 }
 
@@ -134,9 +160,17 @@ VectorRunReport execute(const VectorRunConfig& cfg, exec::Backend& backend) {
   // triggering delivery commits).
   VectorTrace trace;
   std::mutex trace_mu;
-  core::VecTraceFn trace_fn = [&trace, &trace_mu](ProcessId p, Round r,
-                                                  const std::vector<double>& v) {
-    net::SimNetwork::defer_side_effect([&trace, &trace_mu, p, r, v] {
+  obs::TraceSink* sink = cfg.trace;
+  core::VecTraceFn trace_fn = [&trace, &trace_mu, sink](
+                                  ProcessId p, Round r,
+                                  const std::vector<double>& v) {
+    net::SimNetwork::defer_side_effect([&trace, &trace_mu, sink, p, r, v] {
+      if (sink) {
+        // Scalar slot carries the first coordinate — enough to follow a
+        // party's trajectory in a trace viewer without widening the event.
+        sink->record(obs::EventKind::kRoundAdvance, p, 0,
+                     static_cast<std::int64_t>(r), v.empty() ? 0.0 : v[0], 0.0);
+      }
       std::scoped_lock lock(trace_mu);
       trace[r][p] = v;
     });
@@ -155,6 +189,7 @@ VectorRunReport execute(const VectorRunConfig& cfg, exec::Backend& backend) {
         });
       };
 
+  backend.set_trace(cfg.trace);
   stage(cfg, trace_fn, backend, view_fn);
 
   exec::ExecOptions opts;
@@ -172,6 +207,7 @@ VectorRunReport finalize(const VectorRunConfig& cfg, const exec::ExecResult& res
   rep.all_output = res.all_correct_output;
   rep.outputs = res.vector_outputs;
   rep.metrics = res.metrics;
+  rep.exec_stats = res.exec_stats;
 
   // Box validity: the bounding box of every non-byzantine party's input
   // (crash faults do not lie, so crashed parties' genuine inputs
@@ -267,6 +303,11 @@ VectorRunReport finalize(const VectorRunConfig& cfg, const exec::ExecResult& res
   rep.msgs_rb_ready =
       tag(core::MsgType::kRbReady) + tag(core::MsgType::kRbVecReady);
   rep.msgs_report = tag(core::MsgType::kReport);
+  const bool valid = rep.box_validity_ok &&
+                     (rep.convex_validity_ok ||
+                      (cfg.protocol != ProtocolKind::kVectorConvex &&
+                       cfg.protocol != ProtocolKind::kVectorConvexRB));
+  maybe_dump_flight(cfg.trace, cfg.flight_dump, valid, rep.agreement_ok);
   return rep;
 }
 

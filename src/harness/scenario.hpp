@@ -16,6 +16,7 @@
 #pragma once
 
 #include <chrono>
+#include <string>
 #include <vector>
 
 #include "adversary/byzantine.hpp"
@@ -24,6 +25,8 @@
 #include "core/async_crash.hpp"
 #include "net/metrics.hpp"
 #include "net/status.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace apxa::harness {
 
@@ -82,6 +85,15 @@ struct RunConfig {
   /// serial).  0 = resolve via APXA_SIM_WORKERS, default serial; see
   /// net::resolved_sim_workers.  Ignored by the threaded backend.
   std::uint32_t sim_workers = 0;
+  /// Optional obs::TraceSink the transport records events into.  Must
+  /// outlive the run; null (default) disables tracing.  Protocol-domain
+  /// events are committed in serial order, so traced parallel-sim runs stay
+  /// bit-identical to serial ones.
+  obs::TraceSink* trace = nullptr;
+  /// When non-empty AND tracing is on, a failed verdict (validity or
+  /// eps-agreement) dumps the flight record (last events per party) to this
+  /// path.  Benches that fail verdicts by design leave this empty.
+  std::string flight_dump;
 };
 
 struct RunReport {
@@ -93,6 +105,10 @@ struct RunReport {
   bool agreement_ok = false;            ///< worst_pair_gap <= eps
   double finish_time = 0.0;             ///< max output time (Delta units on sim)
   net::Metrics metrics;
+  /// Executor telemetry (worker claims/steals/idle spins on the threaded
+  /// backend; step/fan-out counts on the parallel simulator).  Zero-filled
+  /// on serial sim runs.
+  obs::ExecStats exec_stats;
   std::vector<double> spread_by_round;  ///< correct-party spread at round entry
   Round max_round_reached = 0;
   /// Per-round observed convergence factors spread[r] / spread[r+1]
@@ -138,6 +154,10 @@ struct VectorRunConfig {
   /// serial).  0 = resolve via APXA_SIM_WORKERS, default serial; see
   /// net::resolved_sim_workers.  Ignored by the threaded backend.
   std::uint32_t sim_workers = 0;
+  /// Optional trace sink; see RunConfig::trace.
+  obs::TraceSink* trace = nullptr;
+  /// Verdict-failure flight-dump path; see RunConfig::flight_dump.
+  std::string flight_dump;
 };
 
 struct VectorRunReport {
@@ -157,6 +177,8 @@ struct VectorRunReport {
   bool agreement_ok = false;      ///< worst_linf_gap <= eps
   double finish_time = 0.0;       ///< max output time (Delta units on sim)
   net::Metrics metrics;
+  /// Executor telemetry; see RunReport::exec_stats.
+  obs::ExecStats exec_stats;
   /// Correct-party L-infinity spread at each round entry.
   std::vector<double> linf_spread_by_round;
   Round max_round_reached = 0;

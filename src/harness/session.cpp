@@ -61,10 +61,11 @@ struct DecideClock {
 class RouterProcess final : public net::Process {
  public:
   RouterProcess(ProcessId self, std::vector<std::unique_ptr<net::Process>> subs,
-                DecideClock* clock)
+                DecideClock* clock, obs::TraceSink* trace)
       : self_(self),
         subs_(std::move(subs)),
         clock_(clock),
+        trace_(trace),
         decided_(subs_.size(), false) {}
 
   void on_start(net::Context& ctx) override {
@@ -94,12 +95,21 @@ class RouterProcess final : public net::Process {
   void note_decided(std::uint32_t i) {
     if (decided_[i] || !subs_[i]->has_output()) return;
     decided_[i] = true;
-    clock_->time[i][self_] = clock_->now();
+    const double t = clock_->now();
+    clock_->time[i][self_] = t;
+    if (trace_) {
+      // Committed serial order, like every protocol-domain record: the
+      // deferral keeps traced parallel-sim runs bit-identical to serial.
+      net::SimNetwork::defer_side_effect([trace = trace_, self = self_, i, t] {
+        trace->record(obs::EventKind::kInstanceFinish, self, i, -1, t, t);
+      });
+    }
   }
 
   ProcessId self_;
   std::vector<std::unique_ptr<net::Process>> subs_;
   DecideClock* clock_;
+  obs::TraceSink* trace_;
   std::vector<bool> decided_;
 };
 
@@ -143,19 +153,23 @@ SessionReport Session::run() {
     out.scalar_reports.resize(1);
     out.vector_reports.resize(1);
     if (instances_[0].scalar) {
+      if (opts_.trace) instances_[0].scalar->trace = opts_.trace;
       RunReport r = harness::run(*instances_[0].scalar);
       out.status = r.status;
       out.all_output = r.all_output;
       out.metrics = r.metrics;
       out.msgs_per_packet = r.metrics.msgs_per_packet();
+      out.exec_stats = r.exec_stats;
       out.finish_times = {r.finish_time};
       out.scalar_reports[0] = std::move(r);
     } else {
+      if (opts_.trace) instances_[0].vec->trace = opts_.trace;
       VectorRunReport r = harness::run(*instances_[0].vec);
       out.status = r.status;
       out.all_output = r.all_output;
       out.metrics = r.metrics;
       out.msgs_per_packet = r.metrics.msgs_per_packet();
+      out.exec_stats = r.exec_stats;
       out.finish_times = {r.finish_time};
       out.vector_reports[0] = std::move(r);
     }
@@ -211,6 +225,19 @@ SessionReport Session::run_multiplexed() {
               "session faults cannot exceed the budget t");
 
   const std::uint32_t n = shared.params.n;
+
+  // Propagate the session sink into every instance config so instance-level
+  // hooks (collect kViewFreeze, finalize flight dumps) see the same trace
+  // the transport records into.
+  if (opts_.trace) {
+    for (auto& in : instances_) {
+      if (in.scalar) {
+        in.scalar->trace = opts_.trace;
+      } else {
+        in.vec->trace = opts_.trace;
+      }
+    }
+  }
 
   // NOTE: everything routers reference (traces, rows, clock) is declared
   // BEFORE the backend so it outlives the transport's worker threads.
@@ -283,6 +310,7 @@ SessionReport Session::run_multiplexed() {
     backend = std::move(th);
   }
   if (opts_.batching > 0) backend->enable_batching(opts_.batching);
+  backend->set_trace(opts_.trace);
 
   // Routers: party p owns instance i's p-th process for every i.  Raw
   // pointers stay valid for post-run reads — the router (and the backend
@@ -297,7 +325,8 @@ SessionReport Session::run_multiplexed() {
       mine.push_back(std::move(rows[i][p]));
     }
     backend->add_process(
-        std::make_unique<RouterProcess>(p, std::move(mine), &clock));
+        std::make_unique<RouterProcess>(p, std::move(mine), &clock,
+                                        opts_.trace));
   }
   for (ProcessId b : byz) backend->mark_byzantine(b);
   adversary::install(*backend, opts_.crashes);
@@ -311,6 +340,7 @@ SessionReport Session::run_multiplexed() {
   out.status = res.status;
   out.metrics = res.metrics;
   out.msgs_per_packet = res.metrics.msgs_per_packet();
+  out.exec_stats = res.exec_stats;
   out.scalar_reports.resize(K);
   out.vector_reports.resize(K);
   out.finish_times.assign(K, kInf);
@@ -325,6 +355,7 @@ SessionReport Session::run_multiplexed() {
     ri.correct = res.correct;
     ri.output_times = clock.time[i];
     ri.metrics = res.metrics;
+    ri.exec_stats = res.exec_stats;
     ri.all_correct_output = true;
     for (ProcessId p = 0; p < n; ++p) {
       if (!res.correct[p]) continue;

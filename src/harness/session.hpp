@@ -59,6 +59,11 @@ struct SessionOptions {
   /// Session-level crash plan: a budget of k crashes the party after its
   /// k-th LOGICAL send counted across every instance it serves.
   std::vector<adversary::CrashSpec> crashes;
+  /// Optional trace sink: attached to the shared transport, propagated into
+  /// every instance config (collect-engine kViewFreeze hooks, verdict-failure
+  /// flight dumps), and fed a kInstanceFinish event per (party, instance)
+  /// decide.  Must outlive the session run.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct SessionReport {
@@ -78,6 +83,8 @@ struct SessionReport {
   net::Metrics metrics;
   /// Batching efficiency: metrics.msgs_per_packet().
   double msgs_per_packet = 0.0;
+  /// Executor telemetry for the shared transport; see RunReport::exec_stats.
+  obs::ExecStats exec_stats;
 };
 
 class Session {

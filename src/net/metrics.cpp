@@ -17,6 +17,67 @@ void Metrics::note_send(ProcessId from, std::span<const std::byte> payload) {
   }
 }
 
+std::size_t Metrics::frame_tag(std::span<const std::byte> frame) {
+  // Tag attribution from the shared wire convention
+  // [tag][round-or-instance varint] (core/codec.hpp).  Unknown or malformed
+  // payloads land in bucket 0 — metrics never throw.
+  if (frame.empty()) return 0;
+  const auto raw = static_cast<std::uint8_t>(frame[0]);
+  if (raw >= 1 && raw <= kMaxTag && raw != kEnvelopeTag && raw != kBatchTag) {
+    return raw;
+  }
+  return 0;
+}
+
+void Metrics::note_delivery(std::span<const std::byte> payload, double latency) {
+  std::size_t bucket = 0;
+  if (latency > 0.0) {
+    bucket = static_cast<std::size_t>(latency * kLatencyBuckets);
+    if (latency * kLatencyBuckets == static_cast<double>(bucket)) --bucket;
+    if (bucket >= kLatencyBuckets) bucket = kLatencyBuckets - 1;
+  }
+  for (const BytesView frame_view : unpack_packet(payload)) {
+    std::span<const std::byte> frame = frame_view;
+    if (is_envelope(frame)) {
+      const auto env = decode_envelope(frame);
+      if (!env) {
+        ++latency_by_tag[0][bucket];
+        continue;
+      }
+      frame = env->payload;
+    }
+    ++latency_by_tag[frame_tag(frame)][bucket];
+  }
+}
+
+std::uint64_t Metrics::latency_samples(std::size_t tag) const {
+  if (tag > kMaxTag) return 0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : latency_by_tag[tag]) total += c;
+  return total;
+}
+
+double Metrics::latency_quantile(std::size_t tag, double q) const {
+  if (tag > kMaxTag) return 0.0;
+  const std::uint64_t total = latency_samples(tag);
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  constexpr double kWidth = 1.0 / static_cast<double>(kLatencyBuckets);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
+    const auto c = static_cast<double>(latency_by_tag[tag][b]);
+    if (c == 0.0) continue;
+    if (cum + c >= target) {
+      const double frac = c == 0.0 ? 1.0 : (target - cum) / c;
+      return (static_cast<double>(b) + frac) * kWidth;
+    }
+    cum += c;
+  }
+  return 1.0;
+}
+
 void Metrics::note_logical(ProcessId from, std::span<const std::byte> frame) {
   ++messages_sent;
   if (from < sent_by.size()) ++sent_by[from];
@@ -37,16 +98,7 @@ void Metrics::note_logical(ProcessId from, std::span<const std::byte> frame) {
     frame = env->payload;
   }
 
-  // Tag + round attribution from the shared wire convention
-  // [tag][round-or-instance varint] (core/codec.hpp).  Unknown or malformed
-  // payloads land in bucket 0 / stay unattributed — metrics never throw.
-  std::size_t tag = 0;
-  if (!frame.empty()) {
-    const auto raw = static_cast<std::uint8_t>(frame[0]);
-    if (raw >= 1 && raw <= kMaxTag && raw != kEnvelopeTag && raw != kBatchTag) {
-      tag = raw;
-    }
-  }
+  const std::size_t tag = frame_tag(frame);
   ++sent_by_tag[tag];
   if (tag == 0) return;
 

@@ -56,6 +56,16 @@ struct Metrics {
   /// kMaxTrackedRounds growth bound.
   std::vector<std::uint64_t> sent_by_instance;
 
+  /// Delivery-latency histogram buckets per wire tag.  Latency is virtual
+  /// time send->deliver, which the (0, Delta]-clamped schedulers keep in
+  /// (0, 1]; bucket i covers (i, i+1] / kLatencyBuckets.  Only the
+  /// simulator fills this (the threaded transport has no virtual clock); it
+  /// closes the observability gap between aggregate finish times and
+  /// per-instance decides — per-tag tail latency under a given scheduler.
+  static constexpr std::size_t kLatencyBuckets = 32;
+  std::array<std::array<std::uint64_t, kLatencyBuckets>, kMaxTag + 1>
+      latency_by_tag{};
+
   void reset(std::uint32_t n) {
     *this = Metrics{};
     sent_by.assign(n, 0);
@@ -67,6 +77,18 @@ struct Metrics {
   /// per-instance).  Both transports call this from their send path (under
   /// the metrics lock on the threaded backend).
   void note_send(ProcessId from, std::span<const std::byte> payload);
+
+  /// Account one packet delivery's latency: one histogram sample per logical
+  /// frame the packet carries, attributed to the frame's wire tag (envelope
+  /// framing stripped; unknown tags land in bucket row 0).
+  void note_delivery(std::span<const std::byte> payload, double latency);
+
+  /// Latency quantile (q in [0, 1]) for one tag row, linearly interpolated
+  /// inside the winning bucket; 0.0 when the row has no samples.
+  [[nodiscard]] double latency_quantile(std::size_t tag, double q) const;
+
+  /// Samples recorded for one tag row.
+  [[nodiscard]] std::uint64_t latency_samples(std::size_t tag) const;
 
   [[nodiscard]] std::uint64_t payload_bits() const { return payload_bytes * 8; }
 
@@ -81,6 +103,9 @@ struct Metrics {
 
  private:
   void note_logical(ProcessId from, std::span<const std::byte> frame);
+  /// Tag of a protocol frame (envelope already stripped): the tag byte when
+  /// it follows the [tag][varint] wire convention, else 0 (unknown).
+  static std::size_t frame_tag(std::span<const std::byte> frame);
 };
 
 }  // namespace apxa::net

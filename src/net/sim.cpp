@@ -17,10 +17,20 @@ namespace apxa::net {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Deferred-side-effect staging target for the CURRENT thread: null outside a
-// parallel-phase upcall (defer_side_effect runs immediately), else the event
-// record the effect should commit with.
+// Deferred-side-effect staging target for the CURRENT thread: null outside
+// an upcall (defer_side_effect runs immediately), else the effect list the
+// current event commits with.  Both the serial delivery loop and the
+// parallel staging phase point this at the event's list, so harness hooks
+// fire in the SAME position of the event order either way — that uniformity
+// is what makes traced parallel runs bit-identical to serial ones.
 thread_local std::vector<std::function<void()>>* tl_effects = nullptr;
+
+// RAII so an upcall that throws cannot leave tl_effects dangling into the
+// next run on this thread.
+struct TlEffectsScope {
+  explicit TlEffectsScope(std::vector<std::function<void()>>* v) { tl_effects = v; }
+  ~TlEffectsScope() { tl_effects = nullptr; }
+};
 }  // namespace
 
 std::uint32_t resolved_sim_workers(std::uint32_t requested) {
@@ -212,12 +222,18 @@ void SimNetwork::do_send(ProcessId from, ProcessId to, Bytes payload) {
     // Every send attempted by an already-crashed party counts as dropped
     // (same accounting on both backends — see rt::ThreadNetwork::post).
     ++metrics_.messages_dropped;
+    if (trace_) trace_->record(obs::EventKind::kDrop, from, to, -1, 0.0, now_);
     return;
   }
   if (sends_made_[from] >= crash_send_limit_[from]) {
     // The crash fires exactly at this send: the message is lost.
     status_[from] = PartyStatus::kCrashed;
     ++metrics_.messages_dropped;
+    if (trace_) {
+      trace_->record(obs::EventKind::kCrash, from, from, -1,
+                     static_cast<double>(sends_made_[from]), now_);
+      trace_->record(obs::EventKind::kDrop, from, to, -1, 0.0, now_);
+    }
     return;
   }
   ++sends_made_[from];
@@ -244,6 +260,10 @@ void SimNetwork::do_send(ProcessId from, ProcessId to, Bytes payload) {
   // so a multicast in progress stops at this receiver.
   if (sends_made_[from] >= crash_send_limit_[from]) {
     status_[from] = PartyStatus::kCrashed;
+    if (trace_) {
+      trace_->record(obs::EventKind::kCrash, from, from, -1,
+                     static_cast<double>(sends_made_[from]), now_);
+    }
   }
 }
 
@@ -256,6 +276,10 @@ void SimNetwork::enqueue_packet(ProcessId from, ProcessId to, Bytes payload) {
   m.payload = std::move(payload);
 
   metrics_.note_send(from, m.payload);
+  if (trace_) {
+    trace_->record(obs::EventKind::kSend, from, to, -1,
+                   static_cast<double>(m.payload.size()), now_);
+  }
 
   const double d = sched::clamp_delay(scheduler_->delay(m));
   if (duplication_rng_ && duplication_rng_->next_bool(duplication_prob_)) {
@@ -296,6 +320,9 @@ void SimNetwork::apply_timed_crashes(double up_to) {
   for (ProcessId p = 0; p < params_.n; ++p) {
     if (crash_time_[p] <= up_to && status_[p] == PartyStatus::kCorrect) {
       status_[p] = PartyStatus::kCrashed;
+      if (trace_) {
+        trace_->record(obs::EventKind::kCrash, p, p, -1, crash_time_[p], now_);
+      }
     }
   }
 }
@@ -313,6 +340,7 @@ RunStatus SimNetwork::run_until(const std::function<bool()>& pred,
   APXA_ENSURE(started_, "call start() before run()");
   if (pred && pred()) return RunStatus::kPredicateSatisfied;
   std::uint64_t delivered = 0;
+  std::vector<std::function<void()>> effects;
   while (!queue_.empty()) {
     if (delivered >= max_deliveries) return RunStatus::kBudgetExhausted;
     Pending next = queue_.top();
@@ -321,25 +349,48 @@ RunStatus SimNetwork::run_until(const std::function<bool()>& pred,
     apply_timed_crashes(now_);
 
     const Message& m = next.msg;
-    if (status_[m.to] == PartyStatus::kCrashed) continue;  // dropped silently
+    if (status_[m.to] == PartyStatus::kCrashed) {  // dropped silently
+      if (trace_) trace_->record(obs::EventKind::kDrop, m.from, m.to, -1, 0.0, now_);
+      continue;
+    }
     ++delivered;
     scheduler_->on_deliver(m);
+    metrics_.note_delivery(m.payload, now_ - m.send_time);
 
+    // Side effects the upcall defers run AFTER the receiver's batch flush —
+    // the same slot the parallel commit walk executes them in — so traced
+    // event order and harness trace-map write order are mode-independent.
+    effects.clear();
     ContextImpl ctx(*this, m.to);
     if (max_batch_ > 0) {
       // Deliver EVERY frame of the packet before flushing the receiver's
       // send buffers: an 8-frame batch advances up to 8 instances whose
       // responses then pack into full batches again, so batching efficiency
       // self-sustains down the cascade.
-      for (const BytesView frame : unpack_packet(m.payload)) {
-        ++metrics_.messages_delivered;
-        procs_[m.to]->on_message(ctx, m.from, Bytes(frame.begin(), frame.end()));
+      const auto frames = unpack_packet(m.payload);
+      if (trace_) {
+        trace_->record(obs::EventKind::kDeliver, m.from, m.to, -1,
+                       static_cast<double>(frames.size()), now_);
+      }
+      {
+        TlEffectsScope scope(&effects);
+        for (const BytesView frame : frames) {
+          ++metrics_.messages_delivered;
+          procs_[m.to]->on_message(ctx, m.from, Bytes(frame.begin(), frame.end()));
+        }
       }
       flush_sender(m.to);
     } else {
-      ++metrics_.messages_delivered;
-      procs_[m.to]->on_message(ctx, m.from, m.payload);
+      if (trace_) {
+        trace_->record(obs::EventKind::kDeliver, m.from, m.to, -1, 1.0, now_);
+      }
+      {
+        TlEffectsScope scope(&effects);
+        ++metrics_.messages_delivered;
+        procs_[m.to]->on_message(ctx, m.from, m.payload);
+      }
     }
+    for (auto& fn : effects) fn();
     note_outputs();
     if (pred && pred()) return RunStatus::kPredicateSatisfied;
   }
@@ -477,22 +528,43 @@ RunStatus SimNetwork::run_parallel(const PartyDone& done,
 
   // One event, exact serial semantics (the run_until body) with the latched
   // per-party probe.  Returns kQueueDrained to mean "keep going".
+  std::vector<std::function<void()>> effects;
   auto deliver_serial = [&](std::size_t k) -> RunStatus {
     const Message& m = step[k].msg;
-    if (status_[m.to] == PartyStatus::kCrashed) return RunStatus::kQueueDrained;
+    if (status_[m.to] == PartyStatus::kCrashed) {
+      if (trace_) trace_->record(obs::EventKind::kDrop, m.from, m.to, -1, 0.0, now_);
+      return RunStatus::kQueueDrained;
+    }
     ++delivered;
     scheduler_->on_deliver(m);
+    metrics_.note_delivery(m.payload, now_ - m.send_time);
+    effects.clear();
     ContextImpl ctx(*this, m.to);
     if (max_batch_ > 0) {
-      for (const BytesView frame : unpack_packet(m.payload)) {
-        ++metrics_.messages_delivered;
-        procs_[m.to]->on_message(ctx, m.from, Bytes(frame.begin(), frame.end()));
+      const auto frames = unpack_packet(m.payload);
+      if (trace_) {
+        trace_->record(obs::EventKind::kDeliver, m.from, m.to, -1,
+                       static_cast<double>(frames.size()), now_);
+      }
+      {
+        TlEffectsScope scope(&effects);
+        for (const BytesView frame : frames) {
+          ++metrics_.messages_delivered;
+          procs_[m.to]->on_message(ctx, m.from, Bytes(frame.begin(), frame.end()));
+        }
       }
       flush_sender(m.to);
     } else {
-      ++metrics_.messages_delivered;
-      procs_[m.to]->on_message(ctx, m.from, m.payload);
+      if (trace_) {
+        trace_->record(obs::EventKind::kDeliver, m.from, m.to, -1, 1.0, now_);
+      }
+      {
+        TlEffectsScope scope(&effects);
+        ++metrics_.messages_delivered;
+        procs_[m.to]->on_message(ctx, m.from, m.payload);
+      }
     }
+    for (auto& fn : effects) fn();
     note_outputs();
     if (status_[m.to] == PartyStatus::kCorrect && !done_flag[m.to] &&
         probe(m.to)) {
@@ -515,6 +587,7 @@ RunStatus SimNetwork::run_parallel(const PartyDone& done,
     }
     now_ = std::max(now_, step_time);
     apply_timed_crashes(now_);
+    ++steps_;
 
     // Group by destination, preserving seq order inside each group.
     groups.clear();
@@ -553,7 +626,10 @@ RunStatus SimNetwork::run_parallel(const PartyDone& done,
 
     // Parallel phase: run the upcalls, stage everything.  Workers touch only
     // their own party's process, shadow entries and event records; the crew
-    // barrier publishes their writes back to this thread.
+    // barrier publishes their writes back to this thread.  Stage events are
+    // executor-domain (recorded from worker threads, timing-dependent); all
+    // protocol events wait for the commit walk below.
+    ++fanned_steps_;
     rec.assign(step.size(), EventRecord{});
     step_status_ = status_;
     step_sends_ = sends_made_;
@@ -564,8 +640,13 @@ RunStatus SimNetwork::run_parallel(const PartyDone& done,
         EventRecord& r = rec[k];
         if (step_status_[to] == PartyStatus::kCrashed) continue;  // dropped
         r.delivered = true;
+        if (trace_) {
+          trace_->record(obs::EventKind::kStepStage, to,
+                         static_cast<std::uint32_t>(g), -1,
+                         static_cast<double>(step.size()), step_time);
+        }
         StageContext ctx(*this, to, &r.sends);
-        tl_effects = &r.effects;
+        TlEffectsScope scope(&r.effects);
         if (max_batch_ > 0) {
           for (const BytesView frame : unpack_packet(m.payload)) {
             ++r.frames;
@@ -575,13 +656,17 @@ RunStatus SimNetwork::run_parallel(const PartyDone& done,
           r.frames = 1;
           procs_[to]->on_message(ctx, m.from, m.payload);
         }
-        tl_effects = nullptr;
         r.output_after = procs_[to]->has_output();
         if (step_status_[to] == PartyStatus::kCorrect && !done_flag[to]) {
           r.done_after = probe(to) ? 1 : 0;
         }
       }
     });
+    if (trace_) {
+      trace_->record(obs::EventKind::kStepCommit, 0,
+                     static_cast<std::uint32_t>(groups.size()), -1,
+                     static_cast<double>(step.size()), step_time);
+    }
 
     // Serial commit walk: replay each committed event's sends through the
     // real do_send in event-seq order, so crash accounting, batching,
@@ -589,11 +674,21 @@ RunStatus SimNetwork::run_parallel(const PartyDone& done,
     // as the serial loop would have made them.
     for (std::size_t k = 0; k < step.size(); ++k) {
       EventRecord& r = rec[k];
-      if (!r.delivered) continue;  // destination crashed: dropped silently
-      const ProcessId to = step[k].msg.to;
+      const Message& m = step[k].msg;
+      if (!r.delivered) {  // destination crashed: dropped silently
+        if (trace_) trace_->record(obs::EventKind::kDrop, m.from, m.to, -1, 0.0, now_);
+        continue;
+      }
+      const ProcessId to = m.to;
       ++delivered;
-      scheduler_->on_deliver(step[k].msg);
+      ++fanned_events_;
+      scheduler_->on_deliver(m);
+      metrics_.note_delivery(m.payload, now_ - m.send_time);
       metrics_.messages_delivered += r.frames;
+      if (trace_) {
+        trace_->record(obs::EventKind::kDeliver, m.from, to, -1,
+                       static_cast<double>(r.frames), now_);
+      }
       for (StagedSend& s : r.sends) {
         do_send(to, s.to, std::move(s.payload));
       }

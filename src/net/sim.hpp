@@ -46,6 +46,8 @@
 #include "net/metrics.hpp"
 #include "net/process.hpp"
 #include "net/status.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 
 namespace apxa::net {
@@ -104,6 +106,26 @@ class SimNetwork final {
   /// use net::resolved_sim_workers to apply the APXA_SIM_WORKERS default.
   void set_parallel_workers(std::uint32_t workers);
   [[nodiscard]] std::uint32_t parallel_workers() const { return workers_; }
+
+  /// Attach a trace sink (null disables tracing; the default).  Protocol
+  /// events are recorded from the committed serial event order, so a traced
+  /// parallel run's protocol stream is bit-identical to the serial run's
+  /// (executor-domain step events are the only parallel-specific records).
+  /// The sink must outlive the network.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+  [[nodiscard]] obs::TraceSink* trace() const { return trace_; }
+
+  /// Per-run parallelism counters: scheduler steps committed, how many
+  /// fanned across the crew, and how many deliveries those fanned steps
+  /// carried.  All zero until run_until_done runs with workers > 1.
+  [[nodiscard]] obs::ExecStats exec_stats() const {
+    obs::ExecStats s;
+    s.workers = workers_;
+    s.steps = steps_;
+    s.fanned_steps = fanned_steps_;
+    s.fanned_events = fanned_events_;
+    return s;
+  }
 
   /// Invoke on_start on every party (in id order) at time 0.
   void start();
@@ -224,6 +246,10 @@ class SimNetwork final {
   std::uint32_t max_batch_ = 0;  // 0 = batching off
   std::vector<std::vector<std::vector<Bytes>>> batch_buf_;  // [from][to]
   std::uint32_t workers_ = 1;
+  obs::TraceSink* trace_ = nullptr;
+  std::uint64_t steps_ = 0;
+  std::uint64_t fanned_steps_ = 0;
+  std::uint64_t fanned_events_ = 0;
 
   // In-step shadow state for the parallel phase: per-party copies of
   // status/sends so a worker can decide drops and send-limit crashes for ITS

@@ -1,0 +1,108 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace apxa::obs {
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+void append_jsonl_event(std::string& out, const TraceEvent& e) {
+  out += "{\"seq\":";
+  append_u64(out, e.seq);
+  out += ",\"kind\":\"";
+  out += kind_name(e.kind);
+  out += "\",\"party\":";
+  append_u64(out, e.party);
+  out += ",\"peer\":";
+  append_u64(out, e.peer);
+  out += ",\"round\":";
+  append_i64(out, e.round);
+  out += ",\"value\":";
+  append_double(out, e.value);
+  out += ",\"vtime\":";
+  append_double(out, e.vtime);
+  out += ",\"wall_ns\":";
+  append_u64(out, e.wall_ns);
+  out += '}';
+}
+
+std::string to_jsonl(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 96);
+  for (const auto& e : events) {
+    append_jsonl_event(out, e);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string to_chrome_json(const std::vector<TraceEvent>& events) {
+  const std::uint64_t t0 = events.empty() ? 0 : events.front().wall_ns;
+  std::string out;
+  out.reserve(events.size() * 160 + 256);
+  out += "{\"traceEvents\":[\n";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"protocol (tid = party)\"}},\n";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"executor (tid = worker)\"}}";
+  for (const auto& e : events) {
+    const bool proto = is_protocol_event(e.kind);
+    out += ",\n{\"name\":\"";
+    out += kind_name(e.kind);
+    out += "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+    // Relative wall-clock microseconds; ring wrap can leave events from
+    // different threads slightly out of wall order, which viewers accept.
+    append_double(out,
+                  static_cast<double>(e.wall_ns - (e.wall_ns >= t0 ? t0 : e.wall_ns)) /
+                      1000.0);
+    out += ",\"pid\":";
+    out += proto ? '0' : '1';
+    out += ",\"tid\":";
+    append_u64(out, e.party);
+    out += ",\"args\":{\"seq\":";
+    append_u64(out, e.seq);
+    out += ",\"peer\":";
+    append_u64(out, e.peer);
+    out += ",\"round\":";
+    append_i64(out, e.round);
+    out += ",\"value\":";
+    append_double(out, e.value);
+    out += ",\"vtime\":";
+    append_double(out, e.vtime);
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace apxa::obs

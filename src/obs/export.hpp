@@ -1,0 +1,30 @@
+// obs — trace exporters.
+//
+// Two formats: Chrome trace_event JSON (load in Perfetto / chrome://tracing;
+// protocol events appear under pid 0 with one track per party, executor
+// events under pid 1 with one track per worker) and compact JSONL (one event
+// object per line; `tools/trace_view.py` summarizes either format).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace apxa::obs {
+
+// Chrome trace_event document.  Timestamps are wall-clock microseconds
+// relative to the first event; the simulator's virtual time rides along in
+// each event's args.
+std::string to_chrome_json(const std::vector<TraceEvent>& events);
+
+// One compact JSON object per line, in seq order.
+std::string to_jsonl(const std::vector<TraceEvent>& events);
+
+// Append one JSONL-encoded event (no trailing newline) to `out`.
+void append_jsonl_event(std::string& out, const TraceEvent& e);
+
+// Write `content` to `path`, returning false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace apxa::obs

@@ -1,0 +1,120 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/ensure.hpp"
+#include "obs/export.hpp"
+
+namespace apxa::obs {
+namespace {
+
+struct ArmState {
+  std::mutex mu;
+  const TraceSink* sink = nullptr;
+  std::string path;
+  std::size_t per_party = kDefaultFlightEventsPerParty;
+};
+
+ArmState& arm_state() {
+  static ArmState state;
+  return state;
+}
+
+void ensure_trampoline(const char* kind, const char* expr, const char* file,
+                       int line, const std::string& what) {
+  ArmState& st = arm_state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (st.sink == nullptr) return;
+  std::ostringstream reason;
+  reason << kind << " failed: " << expr << " at " << file << ':' << line;
+  if (!what.empty()) reason << " (" << what << ')';
+  dump_flight_record(st.sink, st.path, reason.str(), st.per_party);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool dump_flight_record(const TraceSink* sink, const std::string& path,
+                        const std::string& reason, std::size_t per_party) {
+  if (sink == nullptr || path.empty()) return false;
+  per_party = std::max<std::size_t>(per_party, 1);
+  const auto all = sink->snapshot();
+
+  // Keep the newest `per_party` events of each party id, scanning backwards;
+  // executor events share the cap keyed by (domain, worker id).
+  std::unordered_map<std::uint64_t, std::size_t> kept_per_party;
+  std::vector<TraceEvent> tail;
+  tail.reserve(std::min<std::size_t>(all.size(), per_party * 64));
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    const std::uint64_t key =
+        (is_protocol_event(it->kind) ? 0ull : (1ull << 32)) | it->party;
+    if (kept_per_party[key]++ < per_party) tail.push_back(*it);
+  }
+  std::reverse(tail.begin(), tail.end());
+
+  std::string out;
+  out.reserve(tail.size() * 96 + 256);
+  out += "{\"flight_record\":{\"reason\":\"";
+  out += json_escape(reason);
+  out += "\",\"events\":" + std::to_string(tail.size());
+  out += ",\"per_party\":" + std::to_string(per_party);
+  out += ",\"recorded\":" + std::to_string(sink->recorded());
+  out += ",\"dropped\":" + std::to_string(sink->dropped());
+  out += "}}\n";
+  for (const auto& e : tail) {
+    append_jsonl_event(out, e);
+    out += '\n';
+  }
+  return write_text_file(path, out);
+}
+
+ScopedFlightArm::ScopedFlightArm(const TraceSink* sink, std::string path,
+                                 std::size_t per_party) {
+  ArmState& st = arm_state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  prev_sink_ = st.sink;
+  prev_path_ = st.path;
+  prev_per_party_ = st.per_party;
+  st.sink = sink;
+  st.path = std::move(path);
+  st.per_party = per_party;
+  detail::failure_hook().store(&ensure_trampoline, std::memory_order_release);
+}
+
+ScopedFlightArm::~ScopedFlightArm() {
+  ArmState& st = arm_state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.sink = prev_sink_;
+  st.path = std::move(prev_path_);
+  st.per_party = prev_per_party_;
+  if (st.sink == nullptr) {
+    detail::failure_hook().store(nullptr, std::memory_order_release);
+  }
+}
+
+}  // namespace apxa::obs

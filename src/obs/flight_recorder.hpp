@@ -1,0 +1,49 @@
+// obs — flight recorder.
+//
+// Dumps the tail of a TraceSink to disk when a run goes wrong: the harness
+// calls dump_flight_record() on a failed verdict, and ScopedFlightArm hooks
+// the APXA_ENSURE / APXA_ASSERT failure path so an invariant violation
+// anywhere under the armed scope leaves the same dump behind.  Dumps are
+// bounded by construction — at most `per_party` events per party id survive,
+// so a Byzantine storm that floods one party's ring cannot blow up the file.
+//
+// Dump format: JSONL.  Line 1 is a header object
+//   {"flight_record":{"reason":...,"events":N,"per_party":K,"recorded":T,"dropped":D}}
+// followed by one event object per line in seq order (same encoding as
+// obs::to_jsonl).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace apxa::obs {
+
+inline constexpr std::size_t kDefaultFlightEventsPerParty = 64;
+
+// Write the last `per_party` events of each party (plus each executor
+// worker) to `path`.  Returns false if the sink is null or the write failed.
+bool dump_flight_record(const TraceSink* sink, const std::string& path,
+                        const std::string& reason,
+                        std::size_t per_party = kDefaultFlightEventsPerParty);
+
+// While alive, an APXA_ENSURE / APXA_ASSERT failure anywhere in the process
+// dumps `sink` to `path` before the exception propagates.  Guards nest by
+// restoring the previous arm state; arming is process-global, so tests that
+// arm concurrently from several threads race on who wins (don't).
+class ScopedFlightArm {
+ public:
+  ScopedFlightArm(const TraceSink* sink, std::string path,
+                  std::size_t per_party = kDefaultFlightEventsPerParty);
+  ~ScopedFlightArm();
+  ScopedFlightArm(const ScopedFlightArm&) = delete;
+  ScopedFlightArm& operator=(const ScopedFlightArm&) = delete;
+
+ private:
+  const TraceSink* prev_sink_;
+  std::string prev_path_;
+  std::size_t prev_per_party_;
+};
+
+}  // namespace apxa::obs

@@ -149,6 +149,11 @@ void ThreadNetwork::enable_batching(std::uint32_t max_frames) {
 
 std::uint32_t ThreadNetwork::shards() const { return shard_count_; }
 
+void ThreadNetwork::set_trace(obs::TraceSink* sink) {
+  APXA_ENSURE(!started_.load(), "set_trace must precede run()");
+  trace_ = sink;
+}
+
 void ThreadNetwork::post(ProcessId from, ProcessId to, Bytes payload) {
   // A party's sends all come from the thread currently holding its ownership
   // token, so the crash check, send counter and limit comparison need no
@@ -158,6 +163,7 @@ void ThreadNetwork::post(ProcessId from, ProcessId to, Bytes payload) {
   if (crashed_[from].load(std::memory_order_relaxed)) {
     // Every send attempted by an already-crashed party counts as dropped
     // (same accounting on both backends — see net::SimNetwork::do_send).
+    if (trace_) trace_->record(obs::EventKind::kDrop, from, to, -1, 0.0, 0.0);
     std::scoped_lock lock(metrics_mu_);
     ++metrics_.messages_dropped;
     return;
@@ -169,6 +175,11 @@ void ThreadNetwork::post(ProcessId from, ProcessId to, Bytes payload) {
     // already buffered for batching were sent BEFORE the crash and still
     // flush — see flush_sender.
     crashed_[from].store(true, std::memory_order_relaxed);
+    if (trace_) {
+      trace_->record(obs::EventKind::kCrash, from, from, -1,
+                     static_cast<double>(made), 0.0);
+      trace_->record(obs::EventKind::kDrop, from, to, -1, 0.0, 0.0);
+    }
     std::scoped_lock lock(metrics_mu_);
     ++metrics_.messages_dropped;
     return;
@@ -192,10 +203,18 @@ void ThreadNetwork::post(ProcessId from, ProcessId to, Bytes payload) {
   // whose budget covers all the sends it ever makes still stops receiving.
   if (made + 1 >= send_limit_[from]) {
     crashed_[from].store(true, std::memory_order_relaxed);
+    if (trace_) {
+      trace_->record(obs::EventKind::kCrash, from, from, -1,
+                     static_cast<double>(made + 1), 0.0);
+    }
   }
 }
 
 void ThreadNetwork::post_packet(ProcessId from, ProcessId to, Bytes payload) {
+  if (trace_) {
+    trace_->record(obs::EventKind::kSend, from, to, -1,
+                   static_cast<double>(payload.size()), 0.0);
+  }
   {
     std::scoped_lock lock(metrics_mu_);
     metrics_.note_send(from, payload);
@@ -265,6 +284,7 @@ void ThreadNetwork::publish(ProcessId p) {
 
 void ThreadNetwork::deliver_one(ProcessId p, ProcessId from,
                                 const Bytes& payload) {
+  if (trace_) trace_->record(obs::EventKind::kDeliver, from, p, -1, 1.0, 0.0);
   {
     std::scoped_lock lock(metrics_mu_);
     ++metrics_.messages_delivered;
@@ -276,26 +296,37 @@ void ThreadNetwork::deliver_one(ProcessId p, ProcessId from,
 bool ThreadNetwork::next_party(std::uint32_t shard, ProcessId& out,
                                const std::stop_token& st) {
   Shard& own = *shards_[shard];
+  WorkerCounters& wc = worker_stats_[shard];
   while (!st.stop_requested()) {
     {
       std::scoped_lock lock(own.mu);
       if (!own.runnable.empty()) {
         out = own.runnable.front();
         own.runnable.pop_front();
+        ++wc.claims;
+        if (trace_) trace_->record(obs::EventKind::kClaim, shard, out, -1, 0.0, 0.0);
         return true;
       }
     }
     // Steal sweep: visit victims round-robin starting after ourselves and
     // take from the BACK — the cold end, away from the owner's front pops.
     for (std::uint32_t off = 1; off < shard_count_; ++off) {
-      Shard& victim = *shards_[(shard + off) % shard_count_];
+      const std::uint32_t v = (shard + off) % shard_count_;
+      Shard& victim = *shards_[v];
       std::scoped_lock lock(victim.mu);
       if (!victim.runnable.empty()) {
         out = victim.runnable.back();
         victim.runnable.pop_back();
+        ++wc.steals;
+        if (trace_) {
+          trace_->record(obs::EventKind::kSteal, shard, out,
+                         static_cast<std::int64_t>(v), 0.0, 0.0);
+        }
         return true;
       }
     }
+    ++wc.idle_spins;
+    if (trace_) trace_->record(obs::EventKind::kIdle, shard, 0, -1, 0.0, 0.0);
     std::unique_lock lock(own.mu);
     own.cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
       return st.stop_requested() || !own.runnable.empty();
@@ -308,6 +339,7 @@ void ThreadNetwork::run_party(std::uint32_t shard, ProcessId p,
                               const std::stop_token& st) {
   // Precondition: this thread holds p's ownership token (it dequeued p from
   // a runnable deque, and every enqueue is paired with a won claim).
+  ++worker_stats_[shard].parties_run;
   Mailbox& mb = *mail_[p];
   if (!mb.started) {
     mb.started = true;
@@ -370,6 +402,7 @@ void ThreadNetwork::worker_loop(std::uint32_t shard, std::stop_token st) {
 bool ThreadNetwork::run(std::chrono::milliseconds timeout) {
   APXA_ENSURE(procs_.size() == params_.n, "add_process must be called n times");
   APXA_ENSURE(!started_.exchange(true), "run() called twice");
+  worker_stats_.assign(shard_count_, WorkerCounters{});
 
   // Seed every party as runnable on its home shard, token pre-claimed; the
   // first worker to dequeue it runs on_start before draining its mailbox.
@@ -406,6 +439,18 @@ bool ThreadNetwork::run(std::chrono::milliseconds timeout) {
   for (auto& sh : shards_) sh->cv.notify_all();
   for (auto& th : threads_) {
     if (th.joinable()) th.join();
+  }
+
+  // Aggregate the per-worker counters now that the joins above made every
+  // worker's writes visible; after this point the network is quiescent and
+  // trace snapshots are race-free too.
+  exec_stats_ = obs::ExecStats{};
+  exec_stats_.workers = shard_count_;
+  for (const WorkerCounters& wc : worker_stats_) {
+    exec_stats_.claims += wc.claims;
+    exec_stats_.steals += wc.steals;
+    exec_stats_.parties_run += wc.parties_run;
+    exec_stats_.idle_spins += wc.idle_spins;
   }
   return done;
 }

@@ -59,6 +59,8 @@
 #include "common/ids.hpp"
 #include "net/metrics.hpp"
 #include "net/process.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace apxa::rt {
 
@@ -104,6 +106,17 @@ class ThreadNetwork final {
   /// Enable per-destination send batching (cap `max_frames` <=
   /// net::kMaxBatchFrames frames per packet).  Must precede run().
   void enable_batching(std::uint32_t max_frames);
+
+  /// Attach a trace sink (null disables tracing; the default).  Workers
+  /// record into per-thread rings, so the hot paths stay lock-free; the sink
+  /// must outlive the network, and snapshots are safe once run() returned
+  /// (it joins every worker).  Must precede run().
+  void set_trace(obs::TraceSink* sink);
+
+  /// Aggregated per-worker executor counters (claims, steals, parties run,
+  /// idle spins).  Counted unconditionally — they ride on paths that already
+  /// take a lock or cache miss — and aggregated when run() stops.
+  [[nodiscard]] obs::ExecStats exec_stats() const { return exec_stats_; }
 
   /// Start the workers, wait until every correct party satisfies the
   /// completion probe or the timeout elapses; then stop and join.  Returns
@@ -157,6 +170,16 @@ class ThreadNetwork final {
     std::deque<ProcessId> runnable;
   };
 
+  /// Per-worker executor counters, cache-line separated so workers never
+  /// contend; each worker writes only its own entry, and run() aggregates
+  /// them after the joins (which carry the happens-before edge).
+  struct alignas(64) WorkerCounters {
+    std::uint64_t claims = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t parties_run = 0;
+    std::uint64_t idle_spins = 0;
+  };
+
   class ContextImpl;
 
   void worker_loop(std::uint32_t shard, std::stop_token st);
@@ -203,6 +226,9 @@ class ThreadNetwork final {
   net::Metrics metrics_;
   std::mutex metrics_mu_;
   std::atomic<bool> started_{false};
+  obs::TraceSink* trace_ = nullptr;
+  std::vector<WorkerCounters> worker_stats_;  // sized at run()
+  obs::ExecStats exec_stats_;                 // aggregated when run() stops
 
   static constexpr std::uint64_t kNoLimit = UINT64_MAX;
   static constexpr std::uint32_t kMaxShards = 4096;

@@ -1,0 +1,222 @@
+// Flight recorder: the crash-dump path of the obs subsystem.  Covers the
+// boundedness guarantee (a Byzantine round-number storm flooding one party id
+// cannot blow up the dump beyond per_party events per id), the harness hook
+// (a failed verdict with RunConfig::flight_dump set leaves a parseable JSONL
+// file behind), and the APXA_ENSURE / APXA_ASSERT arming path including
+// nested-arm restore.  Test names match the CI TSan regex (FlightRecorder).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "harness/harness.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
+
+namespace apxa::obs {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// Every line of a dump must be one JSON object; the header line carries the
+// reason and the bound actually applied.
+void expect_parseable_dump(const std::vector<std::string>& lines,
+                           const std::string& reason_substr) {
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines[0].find("\"flight_record\""), std::string::npos);
+  EXPECT_NE(lines[0].find(reason_substr), std::string::npos) << lines[0];
+  for (const auto& l : lines) {
+    ASSERT_FALSE(l.empty());
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+  }
+}
+
+TEST(FlightRecorder, NullSinkOrEmptyPathRefuses) {
+  TraceSink sink;
+  sink.record(EventKind::kSend, 0, 1, 0, 0.0, 0.0);
+  EXPECT_FALSE(dump_flight_record(nullptr, temp_path("fr_null.jsonl"), "x"));
+  EXPECT_FALSE(dump_flight_record(&sink, "", "x"));
+}
+
+TEST(FlightRecorder, DumpKeepsNewestEventsPerParty) {
+  TraceSink sink;
+  for (int i = 0; i < 100; ++i) {
+    sink.record(EventKind::kSend, static_cast<std::uint32_t>(i % 2), 1, i, 0.0,
+                0.0);
+  }
+  const std::string path = temp_path("fr_per_party.jsonl");
+  ASSERT_TRUE(dump_flight_record(&sink, path, "unit test", 8));
+
+  const auto lines = read_lines(path);
+  expect_parseable_dump(lines, "unit test");
+  ASSERT_EQ(lines.size(), 1u + 16u);  // header + 8 events for each party id
+  // Survivors are the newest per party: rounds 84..99 across the two ids.
+  EXPECT_NE(lines[1].find("\"round\":84"), std::string::npos) << lines[1];
+  EXPECT_NE(lines.back().find("\"round\":99"), std::string::npos);
+}
+
+TEST(FlightRecorder, BoundedUnderByzantineRoundStorm) {
+  // A Byzantine party spraying absurd round numbers floods its own party id
+  // with events; the dump must stay at per_party lines for that id no matter
+  // how many events the storm recorded.
+  TraceSink sink;
+  constexpr std::uint32_t kByz = 7;
+  for (int i = 0; i < 50'000; ++i) {
+    sink.record(EventKind::kSend, kByz, i % 8,
+                static_cast<std::int64_t>(1) << 40, 0.0, 0.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    sink.record(EventKind::kDeliver, 1, 2, i, 0.0, 0.0);
+  }
+  const std::string path = temp_path("fr_storm.jsonl");
+  ASSERT_TRUE(dump_flight_record(&sink, path, "storm", 16));
+
+  const auto lines = read_lines(path);
+  expect_parseable_dump(lines, "storm");
+  std::size_t byz_lines = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].find("\"party\":7") != std::string::npos) ++byz_lines;
+  }
+  EXPECT_LE(byz_lines, 16u);
+  EXPECT_EQ(lines.size(), 1u + byz_lines + 10u);  // storm + the 10 sane events
+}
+
+TEST(FlightRecorder, HarnessDumpsOnFailedVerdict) {
+  using namespace apxa::harness;
+  // One round of 5-party mean averaging cannot reach eps = 1e-9 from spread-1
+  // inputs, so the eps-agreement verdict fails by construction.
+  const SystemParams p{5, 1};
+  RunConfig cfg;
+  cfg.params = p;
+  cfg.protocol = ProtocolKind::kCrashRound;
+  cfg.fixed_rounds = 1;
+  cfg.epsilon = 1e-9;
+  cfg.inputs = linear_inputs(p.n, 0.0, 1.0);
+
+  obs::TraceSink trace;
+  cfg.trace = &trace;
+  cfg.flight_dump = temp_path("fr_verdict.jsonl");
+  std::remove(cfg.flight_dump.c_str());
+
+  const RunReport rep = run(cfg);
+  EXPECT_TRUE(rep.validity_ok);
+  ASSERT_FALSE(rep.agreement_ok);
+
+  const auto lines = read_lines(cfg.flight_dump);
+  expect_parseable_dump(lines, "eps-agreement verdict failed");
+  EXPECT_GT(lines.size(), 1u);  // the trace events that led to the verdict
+}
+
+TEST(FlightRecorder, HarnessSkipsDumpOnCleanRun) {
+  using namespace apxa::harness;
+  const SystemParams p{5, 1};
+  RunConfig cfg;
+  cfg.params = p;
+  cfg.protocol = ProtocolKind::kCrashRound;
+  cfg.fixed_rounds = 8;
+  cfg.epsilon = 0.5;
+  cfg.inputs = linear_inputs(p.n, 0.0, 1.0);
+
+  obs::TraceSink trace;
+  cfg.trace = &trace;
+  cfg.flight_dump = temp_path("fr_clean.jsonl");
+  std::remove(cfg.flight_dump.c_str());
+
+  const RunReport rep = run(cfg);
+  EXPECT_TRUE(rep.validity_ok);
+  EXPECT_TRUE(rep.agreement_ok);
+  std::ifstream in(cfg.flight_dump);
+  EXPECT_FALSE(in.good()) << "clean run must not leave a flight dump";
+}
+
+TEST(FlightRecorder, ScopedArmDumpsOnEnsureFailure) {
+  TraceSink sink;
+  sink.record(EventKind::kSend, 3, 1, 5, 0.25, 1.5);
+  const std::string path = temp_path("fr_ensure.jsonl");
+  std::remove(path.c_str());
+  {
+    ScopedFlightArm arm(&sink, path);
+    auto poke = [] { APXA_ENSURE(1 + 1 == 3, "forced for test"); };
+    EXPECT_THROW(poke(), std::invalid_argument);
+  }
+  const auto lines = read_lines(path);
+  expect_parseable_dump(lines, "precondition failed");
+  EXPECT_NE(lines[0].find("1 + 1 == 3"), std::string::npos) << lines[0];
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("\"party\":3"), std::string::npos);
+}
+
+TEST(FlightRecorder, ScopedArmDumpsOnAssertFailure) {
+  TraceSink sink;
+  sink.record(EventKind::kDeliver, 2, 0, 1, 0.0, 0.5);
+  const std::string path = temp_path("fr_assert.jsonl");
+  std::remove(path.c_str());
+  {
+    ScopedFlightArm arm(&sink, path);
+    auto poke = [] { APXA_ASSERT(false, "forced invariant"); };
+    EXPECT_THROW(poke(), std::logic_error);
+  }
+  expect_parseable_dump(read_lines(path), "invariant failed");
+}
+
+TEST(FlightRecorder, DisarmedAfterScopeEnds) {
+  TraceSink sink;
+  sink.record(EventKind::kSend, 0, 1, 0, 0.0, 0.0);
+  const std::string path = temp_path("fr_disarmed.jsonl");
+  {
+    ScopedFlightArm arm(&sink, path);
+  }
+  std::remove(path.c_str());
+  auto poke = [] { APXA_ENSURE(false, "after disarm"); };
+  EXPECT_THROW(poke(), std::invalid_argument);
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good()) << "disarmed failure must not dump";
+}
+
+TEST(FlightRecorder, NestedArmsRestoreOuter) {
+  TraceSink outer_sink;
+  outer_sink.record(EventKind::kSend, 1, 2, 0, 0.0, 0.0);
+  TraceSink inner_sink;
+  inner_sink.record(EventKind::kDeliver, 3, 4, 0, 0.0, 0.0);
+  const std::string outer_path = temp_path("fr_outer.jsonl");
+  const std::string inner_path = temp_path("fr_inner.jsonl");
+  std::remove(outer_path.c_str());
+  std::remove(inner_path.c_str());
+
+  ScopedFlightArm outer(&outer_sink, outer_path);
+  {
+    ScopedFlightArm inner(&inner_sink, inner_path);
+    auto poke = [] { APXA_ENSURE(false, "inner"); };
+    EXPECT_THROW(poke(), std::invalid_argument);
+  }
+  {
+    std::ifstream in(inner_path);
+    EXPECT_TRUE(in.good());
+  }
+  // After the inner scope unwinds, failures dump through the OUTER arm again.
+  auto poke = [] { APXA_ENSURE(false, "outer"); };
+  EXPECT_THROW(poke(), std::invalid_argument);
+  const auto lines = read_lines(outer_path);
+  expect_parseable_dump(lines, "precondition failed");
+  EXPECT_NE(lines[1].find("\"kind\":\"send\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apxa::obs

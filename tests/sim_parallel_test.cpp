@@ -23,6 +23,7 @@
 #include "harness/harness.hpp"
 #include "harness/session.hpp"
 #include "net/sim.hpp"
+#include "obs/trace.hpp"
 #include "sched/random_scheduler.hpp"
 
 namespace apxa::harness {
@@ -101,22 +102,54 @@ const char* sched_name(SchedKind s) {
   return "?";
 }
 
+// Tracing is part of the identity claim: the whole matrix runs with a
+// TraceSink attached, and the parallel run's committed protocol-event
+// stream (send/deliver/drop/crash/round-advance/view-freeze) must be
+// bit-identical to the serial one, field by field.  Executor-domain events
+// (step stage/commit) are timing-shaped by design and excluded — exactly
+// the contract obs::protocol_events/protocol_digest encode.
+void expect_trace_eq(const obs::TraceSink& a, const obs::TraceSink& b) {
+  const auto ea = obs::protocol_events(a.snapshot());
+  const auto eb = obs::protocol_events(b.snapshot());
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(ea[i].kind, eb[i].kind);
+    EXPECT_EQ(ea[i].party, eb[i].party);
+    EXPECT_EQ(ea[i].peer, eb[i].peer);
+    EXPECT_EQ(ea[i].round, eb[i].round);
+    EXPECT_EQ(ea[i].value, eb[i].value);
+    EXPECT_EQ(ea[i].vtime, eb[i].vtime);
+  }
+  EXPECT_EQ(obs::protocol_digest(ea), obs::protocol_digest(eb));
+}
+
 void expect_parallel_matches_serial(RunConfig cfg) {
   cfg.backend = BackendKind::kSim;
+  obs::TraceSink serial_trace;
+  cfg.trace = &serial_trace;
   cfg.sim_workers = 1;
   const RunReport serial = run(cfg);
+  obs::TraceSink parallel_trace;
+  cfg.trace = &parallel_trace;
   cfg.sim_workers = 4;
   const RunReport parallel = run(cfg);
   expect_report_eq(serial, parallel);
+  expect_trace_eq(serial_trace, parallel_trace);
 }
 
 void expect_parallel_matches_serial(VectorRunConfig cfg) {
   cfg.backend = BackendKind::kSim;
+  obs::TraceSink serial_trace;
+  cfg.trace = &serial_trace;
   cfg.sim_workers = 1;
   const VectorRunReport serial = run(cfg);
+  obs::TraceSink parallel_trace;
+  cfg.trace = &parallel_trace;
   cfg.sim_workers = 4;
   const VectorRunReport parallel = run(cfg);
   expect_vector_report_eq(serial, parallel);
+  expect_trace_eq(serial_trace, parallel_trace);
 }
 
 // --- scalar protocol x scheduler matrix -------------------------------------
@@ -323,7 +356,7 @@ TEST(SimParallelIdentity, MultiplexedSessionWithBatchingAndCrashes) {
   // per-destination batching, a session-level crash budget counted in
   // logical sends — every per-instance verdict and the session-wide
   // transport metrics must survive parallel execution bit-identically.
-  auto session_report = [](std::uint32_t workers) {
+  auto session_report = [](std::uint32_t workers, obs::TraceSink* trace) {
     std::vector<RunConfig> cfgs;
     for (std::uint64_t k = 0; k < 6; ++k) {
       const SystemParams p{5, 1};
@@ -341,14 +374,20 @@ TEST(SimParallelIdentity, MultiplexedSessionWithBatchingAndCrashes) {
     opts.batching = 8;
     opts.force_multiplex = true;
     opts.sim_workers = workers;
+    opts.trace = trace;
     adversary::CrashSpec s;
     s.who = 4;
     s.after_sends = 30;  // logical sends across all 6 instances
     opts.crashes = {s};
     return run_session(cfgs, opts);
   };
-  const SessionReport serial = session_report(1);
-  const SessionReport parallel = session_report(4);
+  obs::TraceSink serial_trace;
+  obs::TraceSink parallel_trace;
+  const SessionReport serial = session_report(1, &serial_trace);
+  const SessionReport parallel = session_report(4, &parallel_trace);
+  // The session path adds kInstanceFinish (router decides) and batched
+  // kDeliver events to the stream; they must commit in serial order too.
+  expect_trace_eq(serial_trace, parallel_trace);
   EXPECT_EQ(serial.status, parallel.status);
   EXPECT_EQ(serial.all_output, parallel.all_output);
   EXPECT_EQ(serial.finish_times, parallel.finish_times);
