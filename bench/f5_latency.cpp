@@ -4,6 +4,7 @@
 // correct delay is 1; a protocol's finish time therefore IS its asynchronous
 // round complexity.  Latency must grow linearly in log(S/eps), with slope
 // 1/log2(K).
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -12,6 +13,7 @@
 #include "bench_util.hpp"
 #include "core/async_byz.hpp"
 #include "core/bounds.hpp"
+#include "netio/socket_net.hpp"
 
 int main(int argc, char** argv) {
   using namespace apxa;
@@ -105,9 +107,61 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Wall-clock latency over real loopback UDP (socket backend), clean and
+  // under deterministic injected loss.  Quantiles are REAL milliseconds
+  // (histogram units scaled by rt::kSocketLatencySpan); the retransmit rate
+  // is the wire overhead the perfect link pays to absorb the loss.  The CI
+  // bench-smoke gate checks this section: verdicts all ok, and the lossy
+  // rows actually exercised retransmission (rate > 0).
+  std::printf("\nsocket loopback (wall clock)\n");
+  std::printf("series,loss,verdict,retransmit_rate,p50_ms,p99_ms\n");
+  sink.begin_section("socket_loopback", {"series", "loss", "verdict",
+                                         "retransmit_rate", "p50_ms", "p99_ms"});
+  struct SocketRow {
+    const char* name;
+    ProtocolKind kind;
+    SystemParams p;
+    Averager avg;
+    double loss;
+  };
+  const SocketRow socket_rows[] = {
+      {"crash-mean", ProtocolKind::kCrashRound, {8, 1}, Averager::kMean, 0.0},
+      {"crash-mean", ProtocolKind::kCrashRound, {8, 1}, Averager::kMean, 0.10},
+      {"byz-dlpsw", ProtocolKind::kByzRound, {6, 1}, Averager::kDlpswAsync, 0.0},
+      {"byz-dlpsw", ProtocolKind::kByzRound, {6, 1}, Averager::kDlpswAsync, 0.10},
+  };
+  for (const auto& row : socket_rows) {
+    const double eps = 1e-2;
+    RunConfig cfg;
+    cfg.params = row.p;
+    cfg.protocol = row.kind;
+    cfg.averager = row.avg;
+    cfg.epsilon = eps;
+    cfg.inputs = linear_inputs(row.p.n, 0.0, 1.0);
+    cfg.fixed_rounds = rounds_for_bound(1.0, eps, row.avg, row.p);
+    cfg.backend = harness::BackendKind::kSocket;
+    cfg.socket_faults.loss = row.loss;
+    cfg.socket_faults.seed = 7;
+    cfg.thread_timeout = std::chrono::milliseconds(60'000);
+    const harness::RunReport rep = harness::run(cfg);
+    const bool ok = rep.all_output && rep.validity_ok && rep.agreement_ok;
+    const net::Metrics& m = rep.metrics;
+    // Tag 1 (ROUND) carries the round traffic on both protocols here.
+    const double to_ms = rt::kSocketLatencySpan * 1e3;
+    const double p50 = m.latency_quantile(1, 0.50) * to_ms;
+    const double p99 = m.latency_quantile(1, 0.99) * to_ms;
+    std::printf("%s,%.2f,%s,%.4f,%.3f,%.3f\n", row.name, row.loss,
+                ok ? "ok" : "FAILED", m.retransmit_rate(), p50, p99);
+    sink.add_row({row.name, bench::fmt(row.loss), ok ? "ok" : "FAILED",
+                  bench::fmt(m.retransmit_rate()), bench::fmt(p50),
+                  bench::fmt(p99)});
+  }
+
   std::printf(
       "\nExpected shape: straight lines in log2(S/eps); witness iterations cost\n"
       "~3 Delta each (RB SEND/ECHO/READY + report) vs ~1 Delta per plain round,\n"
-      "so its line is steeper than byz-dlpsw even at the same factor 2.\n");
+      "so its line is steeper than byz-dlpsw even at the same factor 2.\n"
+      "Socket rows: p50 well under a millisecond on loopback; injected loss\n"
+      "must raise retransmit_rate above zero while leaving verdicts intact.\n");
   return sink.finish();
 }

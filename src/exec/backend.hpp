@@ -74,6 +74,11 @@ struct ExecResult {
   /// Executor telemetry: work-stealing counters on the threaded backend,
   /// step-parallelism counters on the simulator.  Zeros on serial sim runs.
   obs::ExecStats exec_stats;
+  /// Transport-internal state as JSONL lines, one per party — the socket
+  /// backend reports per-party link-layer state (unacked queue depth,
+  /// retransmit counters, last sequence seen per peer) here; other backends
+  /// leave it empty.  The flight recorder appends these to failure dumps.
+  std::vector<std::string> transport_state;
 };
 
 class Backend {
@@ -116,7 +121,8 @@ class Backend {
 
   [[nodiscard]] virtual SystemParams params() const = 0;
 
-  /// Stable identifier ("sim", "thread") for reports and test names.
+  /// Stable identifier ("sim", "thread", "socket") for reports and test
+  /// names.
   [[nodiscard]] virtual std::string_view name() const = 0;
 };
 

@@ -1,0 +1,45 @@
+// Backend adapter over the real-network UDP runtime.
+//
+// Runs the same Process objects over loopback UDP sockets: one thread per
+// party, every channel through the retransmit+ack perfect link of
+// src/netio.  Like the threaded backend, interleavings are not reproducible
+// across runs — only the protocol-level guarantees are — but unlike it the
+// messages cross a genuine lossy datagram service, so this backend also
+// exercises the reliability layer itself (and, via set_fault_config, does so
+// under deterministic injected loss/reordering).
+#pragma once
+
+#include "exec/backend.hpp"
+#include "netio/socket_net.hpp"
+
+namespace apxa::exec {
+
+class SocketBackend final : public Backend {
+ public:
+  explicit SocketBackend(SystemParams params) : net_(params) {}
+
+  void add_process(std::unique_ptr<net::Process> p) override;
+  void mark_byzantine(ProcessId p) override;
+  void crash_after_sends(ProcessId p, std::uint64_t count) override;
+  void set_multicast_order(ProcessId p, std::vector<ProcessId> order) override;
+  void enable_batching(std::uint32_t max_frames) override;
+  void set_trace(obs::TraceSink* sink) override { net_.set_trace(sink); }
+  ExecResult run(const ExecOptions& opts) override;
+
+  /// Deterministic loss/reorder/delay at the socket boundary (harness
+  /// RunConfig::socket_faults routes here).  Must precede run().
+  void set_fault_config(const netio::FaultConfig& cfg) {
+    net_.set_fault_config(cfg);
+  }
+
+  [[nodiscard]] SystemParams params() const override { return net_.params(); }
+  [[nodiscard]] std::string_view name() const override { return "socket"; }
+
+  /// Escape hatch for runtime-only knobs (link tuning, fixed ports).
+  [[nodiscard]] rt::SocketNetwork& network() { return net_; }
+
+ private:
+  rt::SocketNetwork net_;
+};
+
+}  // namespace apxa::exec

@@ -10,6 +10,7 @@
 #include "core/bounds.hpp"
 #include "core/codec.hpp"
 #include "exec/sim_backend.hpp"
+#include "exec/socket_backend.hpp"
 #include "exec/thread_backend.hpp"
 #include "geom/geom.hpp"
 #include "geom/safe_area.hpp"
@@ -24,11 +25,13 @@ namespace {
 // in finalize, after the backend has returned (workers joined / crew parked),
 // so the snapshot races with nothing.
 void maybe_dump_flight(const obs::TraceSink* sink, const std::string& path,
-                       bool validity_ok, bool agreement_ok) {
+                       bool validity_ok, bool agreement_ok,
+                       const std::vector<std::string>& transport_state) {
   if (!sink || path.empty() || (validity_ok && agreement_ok)) return;
   const char* reason = !validity_ok ? "validity verdict failed"
                                     : "eps-agreement verdict failed";
-  obs::dump_flight_record(sink, path, reason);
+  obs::dump_flight_record(sink, path, reason,
+                          obs::kDefaultFlightEventsPerParty, transport_state);
 }
 
 }  // namespace
@@ -43,6 +46,11 @@ std::unique_ptr<exec::Backend> make_backend(const RunConfig& cfg) {
     }
     case BackendKind::kThread:
       return std::make_unique<exec::ThreadBackend>(cfg.params);
+    case BackendKind::kSocket: {
+      auto b = std::make_unique<exec::SocketBackend>(cfg.params);
+      b->set_fault_config(cfg.socket_faults);
+      return b;
+    }
   }
   APXA_ASSERT(false, "unknown backend kind");
 }
@@ -130,7 +138,7 @@ RunReport finalize(const RunConfig& cfg, const exec::ExecResult& res,
     if (a > 0.0 && b > 0.0) rep.round_factors.push_back(a / b);
   }
   maybe_dump_flight(cfg.trace, cfg.flight_dump, rep.validity_ok,
-                    rep.agreement_ok);
+                    rep.agreement_ok, res.transport_state);
   return rep;
 }
 
@@ -149,6 +157,11 @@ std::unique_ptr<exec::Backend> make_backend(const VectorRunConfig& cfg) {
     }
     case BackendKind::kThread:
       return std::make_unique<exec::ThreadBackend>(cfg.params);
+    case BackendKind::kSocket: {
+      auto b = std::make_unique<exec::SocketBackend>(cfg.params);
+      b->set_fault_config(cfg.socket_faults);
+      return b;
+    }
   }
   APXA_ASSERT(false, "unknown backend kind");
 }
@@ -307,7 +320,8 @@ VectorRunReport finalize(const VectorRunConfig& cfg, const exec::ExecResult& res
                      (rep.convex_validity_ok ||
                       (cfg.protocol != ProtocolKind::kVectorConvex &&
                        cfg.protocol != ProtocolKind::kVectorConvexRB));
-  maybe_dump_flight(cfg.trace, cfg.flight_dump, valid, rep.agreement_ok);
+  maybe_dump_flight(cfg.trace, cfg.flight_dump, valid, rep.agreement_ok,
+                    res.transport_state);
   return rep;
 }
 

@@ -25,6 +25,7 @@
 #include "core/async_crash.hpp"
 #include "net/metrics.hpp"
 #include "net/status.hpp"
+#include "netio/fault.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
@@ -57,6 +58,8 @@ enum class SchedKind : std::uint8_t {
 enum class BackendKind : std::uint8_t {
   kSim,     ///< deterministic discrete-event simulator (net::SimNetwork)
   kThread,  ///< threaded runtime, real concurrency (rt::ThreadNetwork)
+  kSocket,  ///< loopback UDP runtime, perfect links over real datagrams
+            ///< (rt::SocketNetwork)
 };
 
 struct RunConfig {
@@ -81,6 +84,9 @@ struct RunConfig {
   BackendKind backend = BackendKind::kSim;
   /// Wall-clock cap for the threaded backend (ignored by the simulator).
   std::chrono::milliseconds thread_timeout{20'000};
+  /// Deterministic loss/reorder/delay injection at the socket boundary
+  /// (socket backend only; ignored elsewhere).  Defaults to no injection.
+  netio::FaultConfig socket_faults;
   /// Simulator worker threads for within-run parallelism (bit-identical to
   /// serial).  0 = resolve via APXA_SIM_WORKERS, default serial; see
   /// net::resolved_sim_workers.  Ignored by the threaded backend.
@@ -150,6 +156,9 @@ struct VectorRunConfig {
   BackendKind backend = BackendKind::kSim;
   /// Wall-clock cap for the threaded backend (ignored by the simulator).
   std::chrono::milliseconds thread_timeout{20'000};
+  /// Deterministic loss/reorder/delay injection at the socket boundary
+  /// (socket backend only); see RunConfig::socket_faults.
+  netio::FaultConfig socket_faults;
   /// Simulator worker threads for within-run parallelism (bit-identical to
   /// serial).  0 = resolve via APXA_SIM_WORKERS, default serial; see
   /// net::resolved_sim_workers.  Ignored by the threaded backend.

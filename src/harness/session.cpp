@@ -8,6 +8,7 @@
 
 #include "common/ensure.hpp"
 #include "exec/sim_backend.hpp"
+#include "exec/socket_backend.hpp"
 #include "exec/thread_backend.hpp"
 #include "harness/build.hpp"
 #include "net/envelope.hpp"
@@ -293,21 +294,33 @@ SessionReport Session::run_multiplexed() {
                      : make_scheduler(*instances_.front().vec);
     auto sim = std::make_unique<exec::SimBackend>(shared.params,
                                                   std::move(sched));
-    const std::uint32_t w = net::resolved_sim_workers(opts_.sim_workers);
+    // K multiplexed instances make every virtual-time step carry ~K times
+    // the deliveries of a single run, so large sessions default to parallel
+    // fan-out (still bit-identical to serial).
+    const std::uint32_t w = net::resolved_sim_workers(
+        opts_.sim_workers, K >= kStepDenseSessionInstances, shared.params.n);
     if (w > 1) sim->set_parallel_workers(w);
     auto* simp = sim.get();
     clock.now = [simp] { return simp->network().now(); };
     backend = std::move(sim);
   } else {
-    auto th = std::make_unique<exec::ThreadBackend>(shared.params);
-    if (opts_.shards > 0) th->network().set_shards(opts_.shards);
+    if (shared.backend == BackendKind::kSocket) {
+      auto sk = std::make_unique<exec::SocketBackend>(shared.params);
+      sk->set_fault_config(instances_.front().scalar
+                               ? instances_.front().scalar->socket_faults
+                               : instances_.front().vec->socket_faults);
+      backend = std::move(sk);
+    } else {
+      auto th = std::make_unique<exec::ThreadBackend>(shared.params);
+      if (opts_.shards > 0) th->network().set_shards(opts_.shards);
+      backend = std::move(th);
+    }
     const auto t0 = std::chrono::steady_clock::now();
     clock.now = [t0] {
       return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                            t0)
           .count();
     };
-    backend = std::move(th);
   }
   if (opts_.batching > 0) backend->enable_batching(opts_.batching);
   backend->set_trace(opts_.trace);

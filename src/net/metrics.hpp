@@ -35,6 +35,15 @@ struct Metrics {
   std::uint64_t messages_dropped = 0;   ///< sends by already-crashed parties
   std::uint64_t payload_bytes = 0;      ///< wire bytes (framing included)
 
+  /// Link-layer retransmissions (socket backend only).  Physical resends of
+  /// already-counted logical messages: they add NOTHING to messages_sent,
+  /// packets_sent or the per-tag/round/instance counters — message
+  /// complexity is a protocol property and must be loss-invariant — and are
+  /// accounted separately here so the wire overhead of reliability stays
+  /// visible.
+  std::uint64_t packets_retransmitted = 0;
+  std::uint64_t retransmit_bytes = 0;   ///< wire bytes spent on resends
+
   std::vector<std::uint64_t> sent_by;   ///< per-sender logical counts
   std::vector<std::uint64_t> bytes_by;  ///< per-sender wire bytes
 
@@ -78,6 +87,13 @@ struct Metrics {
   /// the metrics lock on the threaded backend).
   void note_send(ProcessId from, std::span<const std::byte> payload);
 
+  /// Account one link-layer retransmission: physical bytes only (see
+  /// packets_retransmitted).  Never touches logical counters.
+  void note_retransmit(std::size_t wire_bytes) {
+    ++packets_retransmitted;
+    retransmit_bytes += wire_bytes;
+  }
+
   /// Account one packet delivery's latency: one histogram sample per logical
   /// frame the packet carries, attributed to the frame's wire tag (envelope
   /// framing stripped; unknown tags land in bucket row 0).
@@ -93,11 +109,23 @@ struct Metrics {
   [[nodiscard]] std::uint64_t payload_bits() const { return payload_bytes * 8; }
 
   /// Batching efficiency: logical messages per physical packet (1.0 when
-  /// batching is off; >1 when flushes pack multiple frames).
+  /// batching is off; >1 when flushes pack multiple frames).  Retransmitted
+  /// packets are excluded from the denominator — they re-send frames already
+  /// counted once, so including them would make batching look better (or
+  /// worse) under loss than the protocol's actual packing.
   [[nodiscard]] double msgs_per_packet() const {
     return packets_sent == 0
                ? 0.0
                : static_cast<double>(messages_sent) /
+                     static_cast<double>(packets_sent);
+  }
+
+  /// Retransmissions per original packet (0.0 off the socket backend or at
+  /// 0% effective loss).
+  [[nodiscard]] double retransmit_rate() const {
+    return packets_sent == 0
+               ? 0.0
+               : static_cast<double>(packets_retransmitted) /
                      static_cast<double>(packets_sent);
   }
 

@@ -34,6 +34,11 @@ struct TlEffectsScope {
 }  // namespace
 
 std::uint32_t resolved_sim_workers(std::uint32_t requested) {
+  return resolved_sim_workers(requested, /*step_dense=*/false, /*n=*/1);
+}
+
+std::uint32_t resolved_sim_workers(std::uint32_t requested, bool step_dense,
+                                   std::uint32_t n) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("APXA_SIM_WORKERS")) {
     char* end = nullptr;
@@ -41,6 +46,11 @@ std::uint32_t resolved_sim_workers(std::uint32_t requested) {
     if (end != env && *end == '\0' && v > 0) {
       return static_cast<std::uint32_t>(v);
     }
+  }
+  if (step_dense) {
+    const std::uint32_t hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    return std::max(1u, std::min(hw, n));
   }
   return 1;
 }

@@ -59,6 +59,17 @@ enum class PartyStatus : std::uint8_t { kCorrect, kCrashed, kByzantine };
 /// Symmetric with harness::sweep_workers / APXA_SWEEP_WORKERS.
 [[nodiscard]] std::uint32_t resolved_sim_workers(std::uint32_t requested);
 
+/// Same precedence (explicit > APXA_SIM_WORKERS), but when neither is given
+/// and the caller knows the run is STEP-DENSE — many deliveries sharing each
+/// virtual-time step, as in heavily multiplexed sessions — default to
+/// min(hardware_concurrency, n) instead of serial.  Parallel fan-out is
+/// bit-identical to serial by construction, so the only tradeoff is barrier
+/// overhead, which step-dense runs amortize; sparse runs (the common
+/// single-instance case) keep the serial default.
+[[nodiscard]] std::uint32_t resolved_sim_workers(std::uint32_t requested,
+                                                 bool step_dense,
+                                                 std::uint32_t n);
+
 class SimNetwork final {
  public:
   /// The scheduler decides per-message delays; the network owns it.

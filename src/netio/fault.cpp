@@ -1,0 +1,35 @@
+#include "netio/fault.hpp"
+
+#include "common/ensure.hpp"
+
+namespace apxa::netio {
+
+FaultShim::FaultShim(const FaultConfig& cfg, std::uint32_t party)
+    : cfg_(cfg),
+      // SplitMix64 decorrelates nearby seeds, so seed + party * odd-constant
+      // gives independent per-party streams from one scenario seed.
+      rng_(cfg.seed + 0x9e3779b97f4a7c15ULL * (party + 1)) {
+  APXA_ENSURE(cfg_.loss >= 0.0 && cfg_.loss < 1.0,
+              "loss probability must be in [0, 1)");
+  APXA_ENSURE(cfg_.reorder >= 0.0 && cfg_.reorder < 1.0,
+              "reorder probability must be in [0, 1)");
+}
+
+FaultShim::Fate FaultShim::decide() {
+  if (!cfg_.enabled()) return Fate::kPass;
+  // One draw per knob keeps the decision sequence stable when only one of
+  // the probabilities changes between scenarios.
+  const double d_loss = rng_.next_double();
+  const double d_reorder = rng_.next_double();
+  if (d_loss < cfg_.loss) {
+    ++dropped_;
+    return Fate::kDrop;
+  }
+  if (d_reorder < cfg_.reorder) {
+    ++delayed_;
+    return Fate::kDelay;
+  }
+  return Fate::kPass;
+}
+
+}  // namespace apxa::netio

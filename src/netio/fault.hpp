@@ -1,0 +1,63 @@
+// netio — deterministic loss / reorder / delay injection at the socket
+// boundary.
+//
+// Real packet loss on loopback is too rare to exercise the retransmission
+// machinery, and real loss on a flaky network is too rare to be repeatable.
+// The shim sits between the perfect-link layer and the socket: every
+// OUTGOING datagram (first transmissions and retransmissions alike) draws
+// its fate from a per-party seeded Rng, so the DECISION SEQUENCE — which
+// datagrams drop, which are held back — is a pure function of (seed, party,
+// send index) and CI can exercise retransmission paths without flaky timing.
+// Wall-clock timing of the surviving datagrams still belongs to the OS; the
+// determinism claim covers the fault decisions, not the schedule.
+//
+// Dropping is probabilistic per ATTEMPT, so a datagram retransmitted k times
+// gets k independent draws and is lost forever with probability loss^k —
+// eventual delivery survives injection, as the perfect-link contract
+// requires.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace apxa::netio {
+
+struct FaultConfig {
+  /// P(drop) per outgoing datagram attempt.
+  double loss = 0.0;
+  /// P(hold back) per surviving datagram; a held datagram is released after
+  /// `delay_us`, letting later datagrams overtake it (reordering).
+  double reorder = 0.0;
+  /// Release delay for held-back datagrams, microseconds.
+  std::uint32_t delay_us = 2'000;
+  /// Seed for the fault decision sequence (combined with the party id, so
+  /// parties draw independent sequences from one scenario seed).
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool enabled() const { return loss > 0.0 || reorder > 0.0; }
+};
+
+/// Per-party fate oracle.  Single-threaded: owned and consumed by the
+/// party's socket thread.
+class FaultShim {
+ public:
+  enum class Fate : std::uint8_t { kPass, kDrop, kDelay };
+
+  FaultShim(const FaultConfig& cfg, std::uint32_t party);
+
+  /// Fate of the next outgoing datagram.  kPass always when !cfg.enabled().
+  Fate decide();
+
+  [[nodiscard]] const FaultConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t delayed() const { return delayed_; }
+
+ private:
+  FaultConfig cfg_;
+  Rng rng_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delayed_ = 0;
+};
+
+}  // namespace apxa::netio

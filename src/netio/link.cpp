@@ -1,0 +1,199 @@
+#include "netio/link.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace apxa::netio {
+
+namespace {
+
+std::uint64_t micros_since_epoch(PeerLink::TimePoint tp) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
+// Bounds-checked cursor for the TOTAL decode path.  Unlike ByteReader it
+// reports overruns as `false` instead of throwing: a forged datagram must
+// never reach the APXA_ENSURE failure hook (the flight recorder arms it),
+// let alone unwind through the receive loop.
+struct TotalReader {
+  BytesView data;
+  std::size_t pos = 0;
+
+  bool get_u8(std::uint8_t& out) {
+    if (pos >= data.size()) return false;
+    out = static_cast<std::uint8_t>(data[pos++]);
+    return true;
+  }
+
+  bool get_varint(std::uint64_t& out) {
+    out = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      std::uint8_t b = 0;
+      if (!get_u8(b)) return false;
+      out |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return true;
+    }
+    return false;  // varint too long
+  }
+
+  [[nodiscard]] BytesView rest() const { return data.subspan(pos); }
+};
+
+}  // namespace
+
+PeerLink::PeerLink(LinkConfig cfg) : cfg_(cfg) {
+  APXA_ENSURE(cfg_.max_unacked >= 1, "link resend queue must hold >= 1 frame");
+  APXA_ENSURE(cfg_.max_acks_per_frame >= 1 &&
+                  cfg_.max_acks_per_frame <= kMaxAcksDecode,
+              "ack cap out of range");
+  APXA_ENSURE(cfg_.rto_initial.count() > 0 && cfg_.rto_max >= cfg_.rto_initial,
+              "bad retransmission timeouts");
+}
+
+Bytes PeerLink::encode_data(std::uint64_t seq, BytesView payload,
+                            TimePoint now) {
+  ByteWriter w;
+  w.put_u8(kDataTag);
+  w.put_varint(seq);
+  w.put_varint(micros_since_epoch(now));
+  const std::size_t n_acks =
+      std::min<std::size_t>(pending_acks_.size(), cfg_.max_acks_per_frame);
+  w.put_varint(n_acks);
+  for (std::size_t i = 0; i < n_acks; ++i) w.put_varint(pending_acks_[i]);
+  pending_acks_.erase(
+      pending_acks_.begin(),
+      pending_acks_.begin() + static_cast<std::ptrdiff_t>(n_acks));
+  stats_.acks_sent += n_acks;
+  for (const std::byte b : payload) w.put_u8(static_cast<std::uint8_t>(b));
+  return std::move(w).take();
+}
+
+void PeerLink::note_unacked_peak() {
+  stats_.unacked_peak =
+      std::max<std::uint64_t>(stats_.unacked_peak, unacked_.size());
+}
+
+Bytes PeerLink::make_data(BytesView payload, TimePoint now) {
+  APXA_ENSURE(has_capacity(), "perfect link resend queue full (pump acks)");
+  const std::uint64_t seq = next_seq_++;
+  InFlight f;
+  f.payload.assign(payload.begin(), payload.end());
+  f.deadline = now + cfg_.rto_initial;
+  f.rto = cfg_.rto_initial;
+  Bytes dgram = encode_data(seq, payload, now);
+  unacked_.emplace_back(seq, std::move(f));
+  note_unacked_peak();
+  ++stats_.data_sent;
+  return dgram;
+}
+
+void PeerLink::ack_one(std::uint64_t seq) {
+  ++stats_.acks_received;
+  const auto it =
+      std::find_if(unacked_.begin(), unacked_.end(),
+                   [seq](const auto& e) { return e.first == seq; });
+  if (it != unacked_.end()) unacked_.erase(it);
+}
+
+void PeerLink::on_datagram(BytesView dgram, TimePoint now,
+                           std::vector<Delivered>& out) {
+  TotalReader rd{dgram};
+  const auto consume_acks = [this, &rd](std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::uint64_t seq = 0;
+      if (!rd.get_varint(seq)) return false;
+      ack_one(seq);
+    }
+    return true;
+  };
+  std::uint8_t tag = 0;
+  if (!rd.get_u8(tag)) {
+    ++stats_.malformed;
+    return;
+  }
+  if (tag == kAckTag) {
+    std::uint64_t n_acks = 0;
+    if (!rd.get_varint(n_acks) || n_acks > kMaxAcksDecode ||
+        !consume_acks(n_acks)) {
+      ++stats_.malformed;
+    }
+    return;
+  }
+  if (tag != kDataTag) {
+    ++stats_.malformed;
+    return;
+  }
+  std::uint64_t seq = 0;
+  std::uint64_t sent_us = 0;
+  std::uint64_t n_acks = 0;
+  if (!rd.get_varint(seq) || seq == 0 || !rd.get_varint(sent_us) ||
+      !rd.get_varint(n_acks) || n_acks > kMaxAcksDecode ||
+      !consume_acks(n_acks)) {
+    ++stats_.malformed;
+    return;
+  }
+  ++stats_.data_received;
+  last_seq_seen_ = std::max(last_seq_seen_, seq);
+
+  // Ack every receipt, duplicate or not — the original ack may be the very
+  // datagram the network lost.
+  pending_acks_.push_back(seq);
+
+  if (seq <= contiguous_ || out_of_order_.contains(seq)) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  out_of_order_.insert(seq);
+  while (out_of_order_.contains(contiguous_ + 1)) {
+    out_of_order_.erase(contiguous_ + 1);
+    ++contiguous_;
+  }
+
+  Delivered d;
+  const BytesView payload = rd.rest();
+  d.payload.assign(payload.begin(), payload.end());
+  const std::uint64_t now_us = micros_since_epoch(now);
+  d.latency_s =
+      now_us >= sent_us ? static_cast<double>(now_us - sent_us) * 1e-6 : 0.0;
+  ++stats_.delivered;
+  out.push_back(std::move(d));
+}
+
+void PeerLink::collect_retransmits(TimePoint now, std::vector<Bytes>& out) {
+  for (auto& [seq, f] : unacked_) {
+    if (f.deadline > now) continue;
+    f.rto = std::min(f.rto * 2, cfg_.rto_max);
+    f.deadline = now + f.rto;
+    ++stats_.retransmits;
+    out.push_back(encode_data(seq, f.payload, now));
+  }
+}
+
+std::optional<Bytes> PeerLink::take_ack_frame() {
+  if (pending_acks_.empty()) return std::nullopt;
+  ByteWriter w;
+  w.put_u8(kAckTag);
+  const std::size_t n_acks =
+      std::min<std::size_t>(pending_acks_.size(), cfg_.max_acks_per_frame);
+  w.put_varint(n_acks);
+  for (std::size_t i = 0; i < n_acks; ++i) w.put_varint(pending_acks_[i]);
+  pending_acks_.erase(
+      pending_acks_.begin(),
+      pending_acks_.begin() + static_cast<std::ptrdiff_t>(n_acks));
+  stats_.acks_sent += n_acks;
+  return std::move(w).take();
+}
+
+PeerLink::TimePoint PeerLink::next_deadline() const {
+  TimePoint earliest = TimePoint::max();
+  for (const auto& [seq, f] : unacked_) {
+    earliest = std::min(earliest, f.deadline);
+  }
+  return earliest;
+}
+
+}  // namespace apxa::netio

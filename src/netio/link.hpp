@@ -1,0 +1,169 @@
+// netio — retransmit+ack perfect link over an unreliable datagram service.
+//
+// The paper's model assumes reliable authenticated point-to-point links with
+// unbounded (but finite) delay.  UDP gives neither reliability nor
+// no-duplication, so the real-network backend (rt::SocketNetwork) runs every
+// party-to-party channel through this layer, which restores the three
+// perfect-link obligations over a lossy, reordering datagram service:
+//
+//   eventual delivery — every datagram carries a per-link sequence number and
+//                       stays in a bounded resend queue, retransmitted with
+//                       exponential backoff until acknowledged;
+//   no duplication    — the receiver tracks a contiguous-received frontier
+//                       plus a window of out-of-order sequence numbers and
+//                       delivers each sequence number exactly once (re-acking
+//                       duplicates, since the original ack may have been
+//                       lost);
+//   no creation       — only well-formed DATA frames are delivered, and the
+//                       decoders are TOTAL: any byte sequence decodes to a
+//                       frame or is counted and ignored, never a crash.
+//
+// Acks piggyback on DATA frames going the other way and are also flushed as
+// pure ACK datagrams, so one-directional traffic still gets acknowledged.
+// The resend queue is bounded (LinkConfig::max_unacked); when it fills, the
+// caller must pump its socket for acks before sending more — backpressure,
+// not silent dropping.
+//
+// PeerLink is a pure state machine: no sockets, no clock reads, no threads.
+// Time enters through explicit `now` parameters, and every datagram crosses
+// the boundary as bytes, which is what makes the retransmission logic
+// testable deterministically (tests/socket_net_test.cpp) independent of the
+// OS scheduler.
+//
+// Wire format (link frames wrap whole transport packets — a protocol frame,
+// an instance envelope, or a batch packet of net/envelope.hpp):
+//   DATA : [0xA1][seq varint][send_ts_us varint]
+//          [n_acks varint]([acked seq varint])*  [payload ... to end]
+//   ACK  : [0xA2][n_acks varint]([acked seq varint])*
+// Tag bytes 0xA1/0xA2 are outside the protocol tag range (1..12), so a link
+// frame can never be confused with an unwrapped protocol packet.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace apxa::netio {
+
+/// Link-frame wire tags (disjoint from core/codec.hpp protocol tags 1..12).
+inline constexpr std::uint8_t kDataTag = 0xA1;
+inline constexpr std::uint8_t kAckTag = 0xA2;
+
+/// Decode-side cap on acks per frame (byzantine peers forge their own
+/// counts); the encoder never packs more than LinkConfig::max_acks_per_frame.
+inline constexpr std::uint32_t kMaxAcksDecode = 1024;
+
+struct LinkConfig {
+  /// First-retransmit timeout.  Loopback RTT is tens of microseconds, so a
+  /// couple of milliseconds keeps retransmits rare at 0% loss while still
+  /// recovering quickly under injected loss.
+  std::chrono::microseconds rto_initial{2'000};
+  /// Backoff cap (doubling per attempt stops here).
+  std::chrono::microseconds rto_max{64'000};
+  /// Bounded resend queue: at most this many unacked DATA frames in flight
+  /// per link.  Senders hitting the bound must pump acks (backpressure).
+  std::uint32_t max_unacked = 512;
+  /// Encode-side cap on piggybacked / pure-frame acks.
+  std::uint32_t max_acks_per_frame = 64;
+};
+
+/// Counters one PeerLink accumulates; SocketNetwork aggregates them per
+/// party for metrics, the f5 bench and the flight-recorder link-state dump.
+struct LinkStats {
+  std::uint64_t data_sent = 0;           ///< first transmissions
+  std::uint64_t retransmits = 0;         ///< timer-driven resends
+  std::uint64_t data_received = 0;       ///< well-formed DATA frames in
+  std::uint64_t delivered = 0;           ///< payloads handed up (post-dedup)
+  std::uint64_t duplicates_dropped = 0;  ///< re-received, re-acked, not delivered
+  std::uint64_t acks_sent = 0;           ///< ack entries emitted (piggyback + pure)
+  std::uint64_t acks_received = 0;       ///< ack entries consumed
+  std::uint64_t malformed = 0;           ///< undecodable datagrams ignored
+  std::uint64_t unacked_peak = 0;        ///< resend-queue high-water mark
+};
+
+/// One payload handed up by the link, with the sender-to-receiver latency
+/// measured from the DATA frame's send timestamp (valid within one process;
+/// across processes the clocks differ and the value is only indicative).
+struct Delivered {
+  Bytes payload;
+  double latency_s = 0.0;
+};
+
+/// Perfect-link endpoint for ONE ordered pair of parties (self -> peer for
+/// sending, peer -> self for receiving).  Single-threaded by construction:
+/// the owning party's thread is the only caller.
+class PeerLink {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  explicit PeerLink(LinkConfig cfg = {});
+
+  /// True when the resend queue has room for another DATA frame.
+  [[nodiscard]] bool has_capacity() const {
+    return unacked_.size() < cfg_.max_unacked;
+  }
+
+  /// Frame `payload` as the next DATA datagram (consuming pending acks as
+  /// piggyback), enqueue it for retransmission and return the encoded bytes.
+  /// Requires has_capacity().
+  Bytes make_data(BytesView payload, TimePoint now);
+
+  /// Process one incoming datagram from the peer: consume its acks, dedup
+  /// its payload and append at most one Delivered entry.  Total — malformed
+  /// input is counted and ignored.
+  void on_datagram(BytesView dgram, TimePoint now, std::vector<Delivered>& out);
+
+  /// Encoded DATA frames whose retransmit deadline has passed (deadline and
+  /// backoff are advanced; stats.retransmits counts each).  Retransmissions
+  /// carry a fresh timestamp and the current pending acks.
+  void collect_retransmits(TimePoint now, std::vector<Bytes>& out);
+
+  /// Pure ACK datagram when acks are pending and no DATA is about to carry
+  /// them; nullopt otherwise.
+  std::optional<Bytes> take_ack_frame();
+
+  /// Earliest retransmit deadline, or TimePoint::max() when nothing is in
+  /// flight.
+  [[nodiscard]] TimePoint next_deadline() const;
+
+  [[nodiscard]] std::size_t unacked() const { return unacked_.size(); }
+  [[nodiscard]] bool acks_pending() const { return !pending_acks_.empty(); }
+  /// Highest sequence number ever received from the peer (0 = none).
+  [[nodiscard]] std::uint64_t last_seq_seen() const { return last_seq_seen_; }
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+
+ private:
+  struct InFlight {
+    Bytes payload;             // the transport packet (not the DATA framing)
+    TimePoint deadline;
+    std::chrono::microseconds rto;
+  };
+
+  Bytes encode_data(std::uint64_t seq, BytesView payload, TimePoint now);
+  void note_unacked_peak();
+  /// Remove `seq` from the resend queue (ack consumption).
+  void ack_one(std::uint64_t seq);
+
+  LinkConfig cfg_;
+  LinkStats stats_;
+
+  // Sender side (self -> peer).
+  std::uint64_t next_seq_ = 1;
+  std::vector<std::pair<std::uint64_t, InFlight>> unacked_;  // seq-ordered
+
+  // Receiver side (peer -> self).  Everything below `contiguous_` (exclusive
+  // upper frontier: all seqs in [1, contiguous_] received) is a duplicate;
+  // `out_of_order_` holds received seqs above the frontier.  Bounded because
+  // the peer's resend queue bounds its in-flight window.
+  std::uint64_t contiguous_ = 0;
+  std::set<std::uint64_t> out_of_order_;
+  std::uint64_t last_seq_seen_ = 0;
+  std::vector<std::uint64_t> pending_acks_;
+};
+
+}  // namespace apxa::netio

@@ -1,0 +1,113 @@
+#include "netio/udp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/ensure.hpp"
+
+namespace apxa::netio {
+
+namespace {
+
+// Largest datagram the backend ever sends: a batch packet caps at 8 frames
+// of bounded protocol messages, far below this.  Oversized receives are
+// truncated by the kernel and then rejected by the total link decoders.
+constexpr std::size_t kMaxDatagram = 64 * 1024;
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+UdpSocket::~UdpSocket() { close(); }
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+void UdpSocket::bind(std::uint16_t port) {
+  APXA_ENSURE(fd_ < 0, "socket already bound");
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  APXA_ENSURE(fd_ >= 0, "socket() failed");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    close();
+    APXA_ENSURE(false, "could not set O_NONBLOCK");
+  }
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    close();
+    APXA_ENSURE(false, std::string("bind(127.0.0.1:") + std::to_string(port) +
+                           ") failed: " + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    close();
+    APXA_ENSURE(false, "getsockname() failed");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+bool UdpSocket::send_to(const UdpAddress& to, BytesView datagram) {
+  APXA_ENSURE(fd_ >= 0, "send on unbound socket");
+  const sockaddr_in addr = loopback_addr(to.port);
+  const ssize_t sent =
+      ::sendto(fd_, datagram.data(), datagram.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  return sent == static_cast<ssize_t>(datagram.size());
+}
+
+std::optional<Bytes> UdpSocket::recv_from(UdpAddress& from) {
+  APXA_ENSURE(fd_ >= 0, "recv on unbound socket");
+  Bytes buf(kMaxDatagram);
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  const ssize_t got = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                                 reinterpret_cast<sockaddr*>(&addr), &len);
+  if (got < 0) return std::nullopt;  // EWOULDBLOCK or transient error
+  buf.resize(static_cast<std::size_t>(got));
+  from.port = ntohs(addr.sin_port);
+  return buf;
+}
+
+bool UdpSocket::wait_readable(std::uint32_t timeout_us) {
+  APXA_ENSURE(fd_ >= 0, "wait on unbound socket");
+  pollfd pfd{fd_, POLLIN, 0};
+  // poll() rounds to milliseconds; sub-millisecond waits still yield the CPU.
+  const int timeout_ms = static_cast<int>(timeout_us / 1000);
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  return rc > 0 && (pfd.revents & POLLIN) != 0;
+}
+
+void UdpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    port_ = 0;
+  }
+}
+
+}  // namespace apxa::netio

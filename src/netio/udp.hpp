@@ -1,0 +1,65 @@
+// netio — thin POSIX UDP socket wrapper.
+//
+// One non-blocking IPv4/UDP socket bound to the loopback interface.  The
+// socket backend binds one per party: ephemeral ports (port 0) for the
+// all-in-one-process backend path — no port conflicts, the OS picks — and
+// fixed ports (base_port + party id) for the multi-OS-process deployment of
+// examples/socket_party, where peers must be addressable without a
+// rendezvous service.
+//
+// This is the only file in the library that talks to BSD sockets; everything
+// above it (perfect link, fault shim, SocketNetwork) moves bytes through
+// this interface, which is what keeps the retransmission logic testable
+// without a network.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace apxa::netio {
+
+/// Loopback UDP address: 127.0.0.1:port.
+struct UdpAddress {
+  std::uint16_t port = 0;
+};
+
+class UdpSocket {
+ public:
+  UdpSocket() = default;
+  ~UdpSocket();
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+
+  /// Bind to 127.0.0.1:port (0 = ephemeral, the OS picks).  Throws
+  /// std::invalid_argument on failure (port in use, no socket fd left).
+  void bind(std::uint16_t port);
+
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  /// Actual bound port (resolves ephemeral binds).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Fire-and-forget datagram to 127.0.0.1:to.port.  Returns false when the
+  /// kernel refused (full buffers): UDP semantics, the link layer's
+  /// retransmission recovers.
+  bool send_to(const UdpAddress& to, BytesView datagram);
+
+  /// Non-blocking receive; nullopt when nothing is queued.  `from` receives
+  /// the sender's port.
+  std::optional<Bytes> recv_from(UdpAddress& from);
+
+  /// Block until the socket is readable or `timeout_us` elapsed (0 = just
+  /// poll).  Returns true when readable.
+  bool wait_readable(std::uint32_t timeout_us);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace apxa::netio

@@ -60,7 +60,8 @@ std::string json_escape(const std::string& s) {
 }  // namespace
 
 bool dump_flight_record(const TraceSink* sink, const std::string& path,
-                        const std::string& reason, std::size_t per_party) {
+                        const std::string& reason, std::size_t per_party,
+                        const std::vector<std::string>& transport_state) {
   if (sink == nullptr || path.empty()) return false;
   per_party = std::max<std::size_t>(per_party, 1);
   const auto all = sink->snapshot();
@@ -86,6 +87,11 @@ bool dump_flight_record(const TraceSink* sink, const std::string& path,
   out += ",\"recorded\":" + std::to_string(sink->recorded());
   out += ",\"dropped\":" + std::to_string(sink->dropped());
   out += "}}\n";
+  for (const auto& line : transport_state) {
+    out += "{\"link_state\":";
+    out += line;
+    out += "}\n";
+  }
   for (const auto& e : tail) {
     append_jsonl_event(out, e);
     out += '\n';

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "obs/trace.hpp"
 
@@ -24,9 +25,13 @@ inline constexpr std::size_t kDefaultFlightEventsPerParty = 64;
 
 // Write the last `per_party` events of each party (plus each executor
 // worker) to `path`.  Returns false if the sink is null or the write failed.
+// Each entry of `transport_state` must be a self-contained JSON object (the
+// socket backend's per-party link-layer state); they are emitted after the
+// header, each wrapped as {"link_state":...}, before the event lines.
 bool dump_flight_record(const TraceSink* sink, const std::string& path,
                         const std::string& reason,
-                        std::size_t per_party = kDefaultFlightEventsPerParty);
+                        std::size_t per_party = kDefaultFlightEventsPerParty,
+                        const std::vector<std::string>& transport_state = {});
 
 // While alive, an APXA_ENSURE / APXA_ASSERT failure anywhere in the process
 // dumps `sink` to `path` before the exception propagates.  Guards nest by

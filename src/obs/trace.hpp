@@ -42,6 +42,8 @@ enum class EventKind : std::uint8_t {
   kIdle,        // worker found no runnable party and waited
   kStepStage,   // sim worker staged one event of a fanned step
   kStepCommit,  // sim committed a fanned step (value = events in step)
+  kRetransmit,  // socket link layer re-sent an unacked datagram (value =
+                // wire bytes); timing-dependent, hence executor-domain
 };
 
 const char* kind_name(EventKind k) noexcept;

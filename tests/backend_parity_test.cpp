@@ -1,13 +1,15 @@
 // Backend parity: the SAME RunConfig — including crash and byzantine
 // adversaries — staged through the shared harness must satisfy validity and
-// eps-agreement on the deterministic simulator AND on the threaded runtime.
-// (Timing-dependent quantities legitimately differ across backends; the
-// protocol guarantees must not.)
+// eps-agreement on the deterministic simulator, on the threaded runtime, AND
+// on the socket runtime (clean and under injected datagram loss, which the
+// perfect link must absorb).  Timing-dependent quantities legitimately
+// differ across backends; the protocol guarantees must not.
 #include <gtest/gtest.h>
 
 #include <chrono>
 
 #include "adversary/crash_plan.hpp"
+#include "backend_matrix.hpp"
 #include "core/async_byz.hpp"
 #include "core/bounds.hpp"
 #include "exec/sim_backend.hpp"
@@ -20,10 +22,10 @@ namespace {
 
 using namespace std::chrono_literals;
 
-class BackendParity : public ::testing::TestWithParam<BackendKind> {
+class BackendParity : public ::testing::TestWithParam<BackendCase> {
  protected:
   RunReport run_on_backend(RunConfig cfg) {
-    cfg.backend = GetParam();
+    apply_backend_case(cfg, GetParam());
     cfg.thread_timeout = 60s;
     return run(cfg);
   }
@@ -153,12 +155,8 @@ TEST_P(BackendParity, ReportsSpreadTrace) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, BackendParity,
-                         ::testing::Values(BackendKind::kSim,
-                                           BackendKind::kThread),
-                         [](const auto& info) {
-                           return info.param == BackendKind::kSim ? "sim"
-                                                                  : "thread";
-                         });
+                         ::testing::ValuesIn(kBackendMatrix),
+                         backend_case_name);
 
 // The staging helpers must also work on caller-constructed backends (the
 // escape-hatch path the harness docs promise).
@@ -173,7 +171,8 @@ TEST(HarnessStaging, ExplicitBackendConstruction) {
 }
 
 TEST(HarnessStaging, RejectsBadConfigOnEveryBackend) {
-  for (const auto kind : {BackendKind::kSim, BackendKind::kThread}) {
+  for (const auto kind :
+       {BackendKind::kSim, BackendKind::kThread, BackendKind::kSocket}) {
     RunConfig cfg;
     cfg.params = {5, 1};
     cfg.backend = kind;

@@ -1,15 +1,17 @@
 // Convex-validity vector AA across backends: the SAME VectorRunConfig with
 // ProtocolKind::kVectorConvex must report convex-hull validity (the
 // guarantee safe-area averaging targets, geom/safe_area.hpp) on the
-// deterministic simulator AND on the threaded runtime, under crash faults
-// and under the hull-escape attacker that provably breaks the box-valid
-// kVectorByz laundering.  Runs in the TSan lane (threaded rows).
+// deterministic simulator, the threaded runtime, and the socket runtime
+// (clean and under injected datagram loss), under crash faults and under
+// the hull-escape attacker that provably breaks the box-valid kVectorByz
+// laundering.  Runs in the TSan lane (threaded rows).
 #include <gtest/gtest.h>
 
 #include <chrono>
 
 #include "adversary/byzantine.hpp"
 #include "adversary/crash_plan.hpp"
+#include "backend_matrix.hpp"
 #include "harness/harness.hpp"
 #include "harness/run_many.hpp"
 
@@ -43,10 +45,16 @@ void add_hull_escape(VectorRunConfig& cfg, std::uint32_t count) {
   }
 }
 
-class ConvexParity : public ::testing::TestWithParam<BackendKind> {
+class ConvexParity : public ::testing::TestWithParam<BackendCase> {
  protected:
+  void SetUp() override {
+    if (kTsanBuild && GetParam().backend == BackendKind::kSocket)
+      GTEST_SKIP() << "socket rows exceed wall-clock budgets under TSan "
+                      "instrumentation; covered by the ASan socket lane";
+  }
+
   VectorRunReport run_on_backend(VectorRunConfig cfg) {
-    cfg.backend = GetParam();
+    apply_backend_case(cfg, GetParam());
     cfg.thread_timeout = 60s;
     return run(cfg);
   }
@@ -127,12 +135,8 @@ TEST_P(ConvexParity, ZeroRoundsOutputsInputs) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, ConvexParity,
-                         ::testing::Values(BackendKind::kSim,
-                                           BackendKind::kThread),
-                         [](const auto& info) {
-                           return info.param == BackendKind::kSim ? "sim"
-                                                                  : "thread";
-                         });
+                         ::testing::ValuesIn(kBackendMatrix),
+                         backend_case_name);
 
 // --- simulator-only properties ---------------------------------------------
 

@@ -287,15 +287,23 @@ TEST(Session, CrashBudgetCountsLogicalSendsAcrossInstances) {
   }
 }
 
-TEST(Session, ThreadBackendReachesSameVerdicts) {
-  // Sim/thread parity at the session level: same instances, batched sharded
-  // threaded transport, same per-instance verdicts (outputs differ by
-  // interleaving; correctness must not).
-  auto build = [](BackendKind backend) {
+TEST(Session, ThreadAndSocketBackendsReachSameVerdicts) {
+  // Sim/thread/socket parity at the session level: same instances, batched
+  // transport (sharded threads or loopback UDP), same per-instance verdicts
+  // (outputs differ by interleaving; correctness must not).  The socket row
+  // repeats under injected datagram loss, which the perfect link must
+  // absorb WITHOUT inflating logical message counts — retransmits are
+  // physical, msgs are loss-invariant.  Rounds are the PROVABLE count
+  // (rounds = 0 -> rounds_for_bound): retransmission delays give the socket
+  // rows genuinely adversarial schedules, so verdicts may only be compared
+  // where the theory guarantees them on every schedule.
+  auto build = [](BackendKind backend, double loss) {
     std::vector<RunConfig> cfgs;
     for (std::uint32_t i = 0; i < 3; ++i) {
-      RunConfig cfg = scalar_cfg(5, 1, 0.1 * i, 1.0 + 0.2 * i, 3);
+      RunConfig cfg = scalar_cfg(5, 1, 0.1 * i, 1.0 + 0.2 * i, 0);
       cfg.backend = backend;
+      cfg.socket_faults.loss = loss;
+      cfg.socket_faults.seed = 7;
       cfgs.push_back(cfg);
     }
     return cfgs;
@@ -303,20 +311,30 @@ TEST(Session, ThreadBackendReachesSameVerdicts) {
   SessionOptions opts;
   opts.batching = 8;
   opts.shards = 2;
-  const SessionReport sim = run_session(build(BackendKind::kSim), opts);
-  const SessionReport thr = run_session(build(BackendKind::kThread), opts);
+  const SessionReport sim = run_session(build(BackendKind::kSim, 0.0), opts);
   EXPECT_TRUE(sim.all_output);
-  EXPECT_TRUE(thr.all_output);
-  for (std::size_t i = 0; i < 3; ++i) {
-    ASSERT_TRUE(sim.scalar_reports[i].has_value());
-    ASSERT_TRUE(thr.scalar_reports[i].has_value());
-    EXPECT_EQ(thr.scalar_reports[i]->outputs.size(),
-              sim.scalar_reports[i]->outputs.size());
-    EXPECT_EQ(thr.scalar_reports[i]->validity_ok,
-              sim.scalar_reports[i]->validity_ok);
-    EXPECT_EQ(thr.scalar_reports[i]->agreement_ok,
-              sim.scalar_reports[i]->agreement_ok);
-    EXPECT_EQ(thr.metrics.messages_sent, sim.metrics.messages_sent);
+  struct Row {
+    BackendKind backend;
+    double loss;
+    const char* name;
+  };
+  for (const Row row : {Row{BackendKind::kThread, 0.0, "thread"},
+                        Row{BackendKind::kSocket, 0.0, "socket"},
+                        Row{BackendKind::kSocket, 0.10, "socket_lossy"}}) {
+    SCOPED_TRACE(row.name);
+    const SessionReport rep = run_session(build(row.backend, row.loss), opts);
+    EXPECT_TRUE(rep.all_output);
+    for (std::size_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(sim.scalar_reports[i].has_value());
+      ASSERT_TRUE(rep.scalar_reports[i].has_value());
+      EXPECT_EQ(rep.scalar_reports[i]->outputs.size(),
+                sim.scalar_reports[i]->outputs.size());
+      EXPECT_EQ(rep.scalar_reports[i]->validity_ok,
+                sim.scalar_reports[i]->validity_ok);
+      EXPECT_EQ(rep.scalar_reports[i]->agreement_ok,
+                sim.scalar_reports[i]->agreement_ok);
+      EXPECT_EQ(rep.metrics.messages_sent, sim.metrics.messages_sent);
+    }
   }
 }
 

@@ -12,8 +12,10 @@
 // code paths a data race would corrupt.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "adversary/byzantine.hpp"
@@ -438,6 +440,64 @@ TEST(SimParallelConfig, ResolvedWorkersPrecedence) {
     EXPECT_EQ(net::resolved_sim_workers(0), 1u) << '"' << bad << '"';
   }
   ASSERT_EQ(::unsetenv("APXA_SIM_WORKERS"), 0);
+}
+
+TEST(SimParallelConfig, StepDenseDefaultsToHardwareWorkers) {
+  // The step-dense overload keeps the same precedence (explicit request,
+  // then the environment) but, when neither is given, defaults to
+  // min(hardware_concurrency, n) instead of serial.  Sparse runs keep the
+  // serial default regardless of n.
+  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  ASSERT_EQ(::unsetenv("APXA_SIM_WORKERS"), 0);
+  EXPECT_EQ(net::resolved_sim_workers(6, /*step_dense=*/true, 8), 6u);
+  EXPECT_EQ(net::resolved_sim_workers(0, /*step_dense=*/true, 4),
+            std::min(hw, 4u));
+  EXPECT_EQ(net::resolved_sim_workers(0, /*step_dense=*/true, 1u << 16), hw);
+  EXPECT_EQ(net::resolved_sim_workers(0, /*step_dense=*/false, 1u << 16), 1u);
+  ASSERT_EQ(::setenv("APXA_SIM_WORKERS", "2", 1), 0);
+  EXPECT_EQ(net::resolved_sim_workers(0, /*step_dense=*/true, 64), 2u);
+  ASSERT_EQ(::unsetenv("APXA_SIM_WORKERS"), 0);
+}
+
+TEST(SimParallelIdentity, StepDenseSessionAutoWorkersMatchForcedSerial) {
+  // PR 9 changes the session default: K >= kStepDenseSessionInstances
+  // resolves sim_workers to min(hw, n) automatically.  The new default must
+  // be performance-only — the auto-parallel session reproduces the
+  // forced-serial session bit-for-bit.
+  ASSERT_EQ(::unsetenv("APXA_SIM_WORKERS"), 0);
+  auto session_report = [](std::uint32_t workers) {
+    std::vector<RunConfig> cfgs;
+    for (std::size_t k = 0; k < kStepDenseSessionInstances; ++k) {
+      const SystemParams p{5, 1};
+      RunConfig cfg;
+      cfg.params = p;
+      cfg.protocol = ProtocolKind::kCrashRound;
+      cfg.fixed_rounds = 3 + (k % 3);
+      cfg.epsilon = 1e-2;
+      cfg.inputs = linear_inputs(p.n, 0.0, 1.0 + 0.1 * static_cast<double>(k));
+      cfg.sched = SchedKind::kRandom;
+      cfg.seed = 43;
+      cfgs.push_back(cfg);
+    }
+    SessionOptions opts;
+    opts.batching = 8;
+    opts.force_multiplex = true;
+    opts.sim_workers = workers;  // 0 = the new step-dense auto default
+    return run_session(cfgs, opts);
+  };
+  const SessionReport serial = session_report(1);
+  const SessionReport aut = session_report(0);
+  EXPECT_EQ(serial.status, aut.status);
+  EXPECT_EQ(serial.all_output, aut.all_output);
+  EXPECT_EQ(serial.finish_times, aut.finish_times);
+  expect_metrics_eq(serial.metrics, aut.metrics);
+  ASSERT_EQ(serial.scalar_reports.size(), aut.scalar_reports.size());
+  for (std::size_t i = 0; i < serial.scalar_reports.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_TRUE(serial.scalar_reports[i].has_value());
+    ASSERT_TRUE(aut.scalar_reports[i].has_value());
+    expect_report_eq(*serial.scalar_reports[i], *aut.scalar_reports[i]);
+  }
 }
 
 }  // namespace

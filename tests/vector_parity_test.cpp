@@ -1,13 +1,15 @@
 // Vector backend parity: the SAME VectorRunConfig (d >= 2, crash and
 // byzantine adversaries) staged through the shared harness must satisfy box
-// validity and L-infinity eps-agreement on the deterministic simulator AND
-// on the threaded runtime.  Timing-dependent quantities legitimately differ
-// across backends; the coordinate-wise guarantees must not.
+// validity and L-infinity eps-agreement on the deterministic simulator, the
+// threaded runtime, and the socket runtime (clean and under injected
+// datagram loss).  Timing-dependent quantities legitimately differ across
+// backends; the coordinate-wise guarantees must not.
 #include <gtest/gtest.h>
 
 #include <chrono>
 
 #include "adversary/crash_plan.hpp"
+#include "backend_matrix.hpp"
 #include "core/async_byz.hpp"
 #include "core/bounds.hpp"
 #include "exec/sim_backend.hpp"
@@ -22,10 +24,16 @@ namespace {
 
 using namespace std::chrono_literals;
 
-class VectorParity : public ::testing::TestWithParam<BackendKind> {
+class VectorParity : public ::testing::TestWithParam<BackendCase> {
  protected:
+  void SetUp() override {
+    if (kTsanBuild && GetParam().backend == BackendKind::kSocket)
+      GTEST_SKIP() << "socket rows exceed wall-clock budgets under TSan "
+                      "instrumentation; covered by the ASan socket lane";
+  }
+
   VectorRunReport run_on_backend(VectorRunConfig cfg) {
-    cfg.backend = GetParam();
+    apply_backend_case(cfg, GetParam());
     cfg.thread_timeout = 60s;
     return run(cfg);
   }
@@ -157,7 +165,7 @@ TEST_P(VectorParity, SessionMultiplexedInstancesKeepVerdicts) {
     auto cfg = crash_base(p, 2, rounds);
     Rng rng(17 + seed);
     cfg.inputs = random_vector_inputs(rng, p.n, 2, 0.0, 1.0);
-    cfg.backend = GetParam();
+    apply_backend_case(cfg, GetParam());
     cfg.thread_timeout = 60s;
     s.add(cfg);
   }
@@ -177,12 +185,8 @@ TEST_P(VectorParity, SessionMultiplexedInstancesKeepVerdicts) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, VectorParity,
-                         ::testing::Values(BackendKind::kSim,
-                                           BackendKind::kThread),
-                         [](const auto& info) {
-                           return info.param == BackendKind::kSim ? "sim"
-                                                                  : "thread";
-                         });
+                         ::testing::ValuesIn(kBackendMatrix),
+                         backend_case_name);
 
 // --- simulator-only properties ---------------------------------------------
 
@@ -277,7 +281,8 @@ TEST(VectorStaging, ExplicitBackendConstruction) {
 }
 
 TEST(VectorStaging, RejectsBadConfigOnEveryBackend) {
-  for (const auto kind : {BackendKind::kSim, BackendKind::kThread}) {
+  for (const auto kind :
+       {BackendKind::kSim, BackendKind::kThread, BackendKind::kSocket}) {
     auto cfg = crash_base({5, 1}, 2, 4);
     cfg.backend = kind;
     cfg.inputs.pop_back();  // wrong row count
