@@ -1,0 +1,18 @@
+// libFuzzer entry shim: forwards LLVMFuzzerTestOneInput to the named target
+// function selected at compile time.  Each fuzz binary compiles this file
+// once with -DAPXA_FUZZ_ENTRY=<target function> (fuzz/CMakeLists.txt), so
+// the target bodies themselves stay plain named functions that the
+// standalone driver and the corpus-replay test can also call.
+#include <cstddef>
+#include <cstdint>
+
+#include "targets.hpp"
+
+#ifndef APXA_FUZZ_ENTRY
+#error "compile with -DAPXA_FUZZ_ENTRY=<apxa::fuzz target function>"
+#endif
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return ::apxa::fuzz::APXA_FUZZ_ENTRY(data, size);
+}

@@ -1,0 +1,87 @@
+// Shallow byte-level target: net/envelope.hpp batch packets (tag 12).
+//
+// Properties: decode_batch / unpack_packet totality; the no-nesting contract
+// (a decoded batch never contains a batch, and encode_batch refuses batch
+// inputs by precondition, so re-encoding decoded frames is always legal);
+// encode∘decode fixpoint when the decoded batch fits the send-side cap;
+// unpack_packet never loses bytes (frames partition the packet or the packet
+// is yielded whole).
+#include <algorithm>
+#include <span>
+
+#include "net/envelope.hpp"
+
+#include "fuzz_input.hpp"
+#include "targets.hpp"
+
+namespace apxa::fuzz {
+
+namespace {
+constexpr const char* kName = "fuzz_batch";
+
+bool same_bytes(BytesView a, BytesView b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+}  // namespace
+
+int batch_target(const std::uint8_t* data, std::size_t size) {
+  const detail::ScopedFailureCapture capture;
+  const BytesView packet{reinterpret_cast<const std::byte*>(data), size};
+  try {
+    if (const auto frames = net::decode_batch(packet)) {
+      APXA_FUZZ_REQUIRE(!frames->empty() &&
+                            frames->size() <= net::kMaxBatchDecodeFrames,
+                        kName, "decoded batch frame count within bounds");
+      std::size_t inner_total = 0;
+      for (const BytesView f : *frames) {
+        APXA_FUZZ_REQUIRE(!f.empty(), kName, "inner frames are non-empty");
+        APXA_FUZZ_REQUIRE(std::to_integer<std::uint8_t>(f[0]) != net::kBatchTag,
+                          kName, "no batch nests inside a batch");
+        inner_total += f.size();
+      }
+      APXA_FUZZ_REQUIRE(inner_total <= packet.size(), kName,
+                        "inner frames fit inside the packet");
+      // Re-encode when within the send-side cap (encode_batch's contract).
+      if (frames->size() <= net::kMaxBatchFrames) {
+        std::vector<Bytes> owned;
+        owned.reserve(frames->size());
+        for (const BytesView f : *frames) owned.emplace_back(f.begin(), f.end());
+        const Bytes enc = net::encode_batch(owned);
+        const auto frames2 = net::decode_batch(enc);
+        APXA_FUZZ_REQUIRE(frames2.has_value(), kName,
+                          "re-encoded batch must decode");
+        APXA_FUZZ_REQUIRE(frames2->size() == frames->size(), kName,
+                          "frame count survives encode∘decode");
+        for (std::size_t i = 0; i < frames->size(); ++i) {
+          APXA_FUZZ_REQUIRE(same_bytes((*frames2)[i], (*frames)[i]), kName,
+                            "frame bytes survive encode∘decode");
+        }
+      }
+    }
+
+    // unpack_packet is total on ANY packet and never yields a nested batch
+    // as a "logical frame" other than the packet itself (malformed batches
+    // are passed through whole for downstream total decoders to reject).
+    const auto logical = net::unpack_packet(packet);
+    if (packet.empty()) {
+      APXA_FUZZ_REQUIRE(logical.size() == 1 && logical[0].empty(), kName,
+                        "empty packet unpacks to itself");
+    } else if (logical.size() == 1) {
+      // Pass-through: must be the packet itself, byte for byte.
+      APXA_FUZZ_REQUIRE(
+          same_bytes(logical[0], packet) || !logical[0].empty(), kName,
+          "single logical frame is the packet or a non-empty inner frame");
+    } else {
+      for (const BytesView f : logical) {
+        APXA_FUZZ_REQUIRE(!f.empty(), kName, "unpacked frames are non-empty");
+        APXA_FUZZ_REQUIRE(std::to_integer<std::uint8_t>(f[0]) != net::kBatchTag,
+                          kName, "unpack never yields an inner batch");
+      }
+    }
+  } catch (...) {
+    fail(kName, "total decoder let an exception escape");
+  }
+  return 0;
+}
+
+}  // namespace apxa::fuzz

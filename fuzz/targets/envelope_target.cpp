@@ -1,0 +1,57 @@
+// Shallow byte-level target: net/envelope.hpp instance envelopes (tag 11).
+//
+// Properties: decoder totality over raw bytes; encode∘decode fixpoint on
+// successful decodes (instance id and inner payload both survive); the
+// constructive direction — any (instance, non-empty payload) pair the fuzzer
+// picks must envelope and decode back exactly.  The instance varint is the
+// boundary PR 10 hardened: an overlong varint encoding instance + 2^64 must
+// NOT alias the small instance id (see fuzz/corpus/fuzz_envelope/overflow-*).
+#include "net/envelope.hpp"
+
+#include "fuzz_input.hpp"
+#include "targets.hpp"
+
+namespace apxa::fuzz {
+
+namespace {
+constexpr const char* kName = "fuzz_envelope";
+}
+
+int envelope_target(const std::uint8_t* data, std::size_t size) {
+  const detail::ScopedFailureCapture capture;
+  FuzzInput in(data, size);
+  // First two bytes steer the constructive check; the rest is the raw frame.
+  const std::uint32_t instance = in.u16();
+  const BytesView frame = in.rest();
+  try {
+    (void)net::is_envelope(frame);
+    if (const auto v = net::decode_envelope(frame)) {
+      APXA_FUZZ_REQUIRE(!v->payload.empty(), kName,
+                        "decoded envelope carries a non-empty inner frame");
+      const Bytes enc = net::encode_envelope(v->instance, v->payload);
+      const auto v2 = net::decode_envelope(enc);
+      APXA_FUZZ_REQUIRE(v2.has_value(), kName, "re-encoded envelope must decode");
+      APXA_FUZZ_REQUIRE(v2->instance == v->instance, kName,
+                        "instance id survives encode∘decode");
+      APXA_FUZZ_REQUIRE(v2->payload.size() == v->payload.size() &&
+                            std::equal(v2->payload.begin(), v2->payload.end(),
+                                       v->payload.begin()),
+                        kName, "inner payload survives encode∘decode");
+    }
+    // Constructive: enveloping arbitrary non-empty fuzzer bytes round-trips.
+    if (!frame.empty()) {
+      const Bytes enc = net::encode_envelope(instance, frame);
+      const auto v = net::decode_envelope(enc);
+      APXA_FUZZ_REQUIRE(v.has_value(), kName, "fresh envelope must decode");
+      APXA_FUZZ_REQUIRE(v->instance == instance, kName,
+                        "fresh envelope preserves the instance id");
+      APXA_FUZZ_REQUIRE(v->payload.size() == frame.size(), kName,
+                        "fresh envelope preserves the payload");
+    }
+  } catch (...) {
+    fail(kName, "total decoder let an exception escape");
+  }
+  return 0;
+}
+
+}  // namespace apxa::fuzz

@@ -1,0 +1,18 @@
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/ensure.hpp"
+#include "targets.hpp"
+
+namespace apxa::fuzz {
+
+void fail(const char* target, const char* property) {
+  // stderr, unbuffered-ish: libFuzzer prints its crash banner around this.
+  std::fflush(stdout);
+  std::fprintf(stderr, "\n== fuzz invariant violated ==\ntarget:   %s\nproperty: %s\nlast ensure/assert: %s\n",
+               target, property, detail::last_failure().describe().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace apxa::fuzz

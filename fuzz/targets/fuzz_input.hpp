@@ -1,0 +1,77 @@
+// Structured consumption of raw fuzzer bytes (a minimal, dependency-free
+// FuzzedDataProvider).  Exhausted input yields zeros/minima instead of
+// failing, so every byte string — including the empty one — maps to SOME
+// structured scenario and the fuzzer can always make progress.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace apxa::fuzz {
+
+class FuzzInput {
+ public:
+  FuzzInput(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  std::uint16_t u16() {
+    return static_cast<std::uint16_t>(u8() |
+                                      (static_cast<std::uint16_t>(u8()) << 8));
+  }
+
+  std::uint32_t u32() {
+    return static_cast<std::uint32_t>(u16() |
+                                      (static_cast<std::uint32_t>(u16()) << 16));
+  }
+
+  std::uint64_t u64() {
+    return static_cast<std::uint64_t>(u32()) |
+           (static_cast<std::uint64_t>(u32()) << 32);
+  }
+
+  bool boolean() { return (u8() & 1) != 0; }
+
+  /// Uniform-ish integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::uint32_t in_range(std::uint32_t lo, std::uint32_t hi) {
+    const std::uint32_t span = hi - lo + 1;
+    return span == 0 ? u32() : lo + u32() % span;
+  }
+
+  /// Finite double in [lo, hi], quantized to 2^16 steps — coarse on purpose:
+  /// protocol logic branches on orderings and thresholds, not on the 52nd
+  /// mantissa bit, and coarse values make fuzzer-found cases reproducible in
+  /// a debugger at a glance.
+  double finite_double(double lo, double hi) {
+    return lo + (hi - lo) * (static_cast<double>(u16()) / 65535.0);
+  }
+
+  /// Up to `max_len` raw bytes (shorter when the input runs dry).
+  Bytes bytes(std::size_t max_len) {
+    const std::size_t n = std::min(max_len, remaining());
+    Bytes out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<std::byte>(data_[pos_ + i]);
+    }
+    pos_ += n;
+    return out;
+  }
+
+  /// Everything left, as a view (no copy).
+  [[nodiscard]] BytesView rest() const {
+    return {reinterpret_cast<const std::byte*>(data_ + pos_), size_ - pos_};
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace apxa::fuzz

@@ -1,0 +1,92 @@
+// Shallow byte-level target: one netio::PeerLink fed fuzzer-controlled
+// datagrams — the exact surface a byzantine peer owns on a real socket.
+//
+// Properties: on_datagram totality (any byte string is a frame or counted
+// malformed, never a crash); stats coherence (delivered + duplicates never
+// exceeds well-formed DATA frames received); the resend queue respects its
+// bound and a forged ack list can never make it grow; forged acks for
+// never-sent sequence numbers leave the queue intact (the PR 10 truncated-
+// ack-list hardening: no partial side effects from malformed frames).
+#include <chrono>
+#include <vector>
+
+#include "netio/link.hpp"
+
+#include "fuzz_input.hpp"
+#include "targets.hpp"
+
+namespace apxa::fuzz {
+
+namespace {
+constexpr const char* kName = "fuzz_link";
+}
+
+int link_target(const std::uint8_t* data, std::size_t size) {
+  const detail::ScopedFailureCapture capture;
+  FuzzInput in(data, size);
+  try {
+    netio::LinkConfig cfg;
+    cfg.max_unacked = 1 + in.in_range(0, 15);  // small queue: bound is reachable
+    netio::PeerLink link(cfg);
+
+    netio::PeerLink::TimePoint now{};  // sim time: epoch + fuzzer-chosen steps
+    std::vector<netio::Delivered> delivered;
+    std::uint64_t sent = 0;
+
+    // Interleave fuzzer datagrams with normal link operations so forged
+    // frames land in every queue state, not just the empty one.
+    while (in.remaining() > 0) {
+      switch (in.u8() % 5) {
+        case 0: {  // incoming datagram: raw fuzzer bytes
+          const Bytes dgram = in.bytes(1 + in.u8() % 64);
+          const std::size_t before = link.unacked();
+          link.on_datagram(dgram, now, delivered);
+          APXA_FUZZ_REQUIRE(link.unacked() <= before, kName,
+                            "incoming datagrams never grow the resend queue");
+          break;
+        }
+        case 1: {  // outgoing DATA
+          if (link.has_capacity()) {
+            const Bytes payload = in.bytes(1 + in.u8() % 16);
+            (void)link.make_data(payload, now);
+            ++sent;
+          }
+          break;
+        }
+        case 2: {  // time passes; timers fire
+          now += std::chrono::microseconds(in.u16());
+          std::vector<Bytes> resends;
+          link.collect_retransmits(now, resends);
+          break;
+        }
+        case 3: {  // flush pure acks
+          (void)link.take_ack_frame();
+          APXA_FUZZ_REQUIRE(!link.acks_pending() || link.take_ack_frame(),
+                            kName, "pending acks are always flushable");
+          break;
+        }
+        default: {  // quiescent step
+          now += std::chrono::microseconds(1);
+          break;
+        }
+      }
+      const auto& st = link.stats();
+      APXA_FUZZ_REQUIRE(link.unacked() <= cfg.max_unacked, kName,
+                        "resend queue respects its configured bound");
+      APXA_FUZZ_REQUIRE(st.delivered + st.duplicates_dropped <=
+                            st.data_received,
+                        kName, "every delivery traces to a DATA frame");
+      APXA_FUZZ_REQUIRE(st.delivered == delivered.size(), kName,
+                        "stats.delivered matches payloads handed up");
+      APXA_FUZZ_REQUIRE(st.data_sent == sent, kName,
+                        "stats.data_sent counts first transmissions only");
+      APXA_FUZZ_REQUIRE(st.unacked_peak <= cfg.max_unacked, kName,
+                        "high-water mark respects the bound");
+    }
+  } catch (...) {
+    fail(kName, "link state machine let an exception escape");
+  }
+  return 0;
+}
+
+}  // namespace apxa::fuzz

@@ -82,6 +82,10 @@ class ByteReader {
     for (;;) {
       APXA_ENSURE(shift < 64, "varint too long");
       std::uint8_t b = get_u8();
+      // The 10th byte can only contribute bit 63: higher payload bits would
+      // silently wrap modulo 2^64, letting a forged overlong varint alias a
+      // small value (e.g. 2^64 + k decoding as k past an instance-id bound).
+      APXA_ENSURE(shift < 63 || (b & 0x7e) == 0, "varint overflows 64 bits");
       v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
       if ((b & 0x80) == 0) break;
       shift += 7;

@@ -50,6 +50,72 @@ inline void notify_failure(const char* kind, const char* expr, const char* file,
   throw std::logic_error(os.str());
 }
 
+/// Snapshot of the most recent ensure/assert failure seen by a
+/// ScopedFailureCapture.  Fuzz harnesses print this when an exception (or an
+/// exception-turned-abort) reaches the target boundary, so a libFuzzer crash
+/// report carries the failing expression and location instead of a bare
+/// std::terminate — see fuzz/targets/targets.hpp.
+struct FailureRecord {
+  bool set = false;
+  std::string kind;  ///< "precondition" or "invariant"
+  std::string expr;
+  std::string file;
+  int line = 0;
+  std::string what;
+
+  [[nodiscard]] std::string describe() const {
+    if (!set) return "(no ensure/assert failure captured)";
+    std::ostringstream os;
+    os << kind << " failed: " << expr << " at " << file << ':' << line;
+    if (!what.empty()) os << " (" << what << ')';
+    return os.str();
+  }
+};
+
+inline FailureRecord& last_failure() {
+  static thread_local FailureRecord rec;
+  return rec;
+}
+
+/// While alive, every APXA_ENSURE / APXA_ASSERT failure on this thread is
+/// recorded into last_failure() before the exception is thrown — including
+/// failures that a total decoder catches internally, so only consult the
+/// record when a failure actually escaped to you.  Chains to (and restores)
+/// the previously installed hook; the hook slot is process-global, so
+/// install from one thread at a time (the fuzz drivers are single-threaded).
+class ScopedFailureCapture {
+ public:
+  ScopedFailureCapture() : prev_(failure_hook().exchange(&capture)) {
+    // Nested captures leave the already-installed capture hook as "previous";
+    // chaining to ourselves would recurse, so only record foreign hooks.
+    if (prev_ != &capture) prev_hook() = prev_;
+    last_failure().set = false;
+  }
+  ~ScopedFailureCapture() { failure_hook().store(prev_); }
+  ScopedFailureCapture(const ScopedFailureCapture&) = delete;
+  ScopedFailureCapture& operator=(const ScopedFailureCapture&) = delete;
+
+ private:
+  static FailureHook& prev_hook() {
+    static FailureHook prev = nullptr;
+    return prev;
+  }
+
+  static void capture(const char* kind, const char* expr, const char* file,
+                      int line, const std::string& what) {
+    FailureRecord& rec = last_failure();
+    rec.set = true;
+    rec.kind = kind;
+    rec.expr = expr;
+    rec.file = file;
+    rec.line = line;
+    rec.what = what;
+    if (FailureHook prev = prev_hook()) prev(kind, expr, file, line, what);
+  }
+
+  FailureHook prev_;
+};
+
 }  // namespace apxa::detail
 
 #define APXA_ENSURE(cond, msg)                                             \

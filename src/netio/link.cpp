@@ -34,6 +34,9 @@ struct TotalReader {
     for (int shift = 0; shift < 64; shift += 7) {
       std::uint8_t b = 0;
       if (!get_u8(b)) return false;
+      // Reject 10-byte varints whose final byte carries bits past bit 63 —
+      // they would wrap modulo 2^64 and alias a small sequence number.
+      if (shift == 63 && (b & 0x7e) != 0) return false;
       out |= static_cast<std::uint64_t>(b & 0x7f) << shift;
       if ((b & 0x80) == 0) return true;
     }
@@ -102,13 +105,24 @@ void PeerLink::ack_one(std::uint64_t seq) {
 void PeerLink::on_datagram(BytesView dgram, TimePoint now,
                            std::vector<Delivered>& out) {
   TotalReader rd{dgram};
-  const auto consume_acks = [this, &rd](std::uint64_t n) {
+  // Two-phase parse: the whole ack list is read into a scratch vector and
+  // applied only once the frame has fully validated.  Applying acks while
+  // still parsing would let a forged frame with a truncated ack list mutate
+  // the resend queue before being counted malformed — a partially-consumed
+  // datagram is a state change the "malformed input is ignored" contract
+  // forbids (regression: PeerLink.TruncatedAckListLeavesQueueIntact).
+  std::vector<std::uint64_t> acks;
+  const auto parse_acks = [&rd, &acks](std::uint64_t n) {
+    acks.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {
       std::uint64_t seq = 0;
       if (!rd.get_varint(seq)) return false;
-      ack_one(seq);
+      acks.push_back(seq);
     }
     return true;
+  };
+  const auto apply_acks = [this, &acks] {
+    for (std::uint64_t seq : acks) ack_one(seq);
   };
   std::uint8_t tag = 0;
   if (!rd.get_u8(tag)) {
@@ -118,9 +132,11 @@ void PeerLink::on_datagram(BytesView dgram, TimePoint now,
   if (tag == kAckTag) {
     std::uint64_t n_acks = 0;
     if (!rd.get_varint(n_acks) || n_acks > kMaxAcksDecode ||
-        !consume_acks(n_acks)) {
+        !parse_acks(n_acks) || rd.rest().size() != 0) {
       ++stats_.malformed;
+      return;
     }
+    apply_acks();
     return;
   }
   if (tag != kDataTag) {
@@ -132,10 +148,11 @@ void PeerLink::on_datagram(BytesView dgram, TimePoint now,
   std::uint64_t n_acks = 0;
   if (!rd.get_varint(seq) || seq == 0 || !rd.get_varint(sent_us) ||
       !rd.get_varint(n_acks) || n_acks > kMaxAcksDecode ||
-      !consume_acks(n_acks)) {
+      !parse_acks(n_acks)) {
     ++stats_.malformed;
     return;
   }
+  apply_acks();
   ++stats_.data_received;
   last_seq_seen_ = std::max(last_seq_seen_, seq);
 

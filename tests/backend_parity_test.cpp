@@ -16,6 +16,7 @@
 #include "exec/thread_backend.hpp"
 #include "harness/build.hpp"
 #include "harness/harness.hpp"
+#include "invariant_oracle.hpp"
 
 namespace apxa::harness {
 namespace {
@@ -27,7 +28,15 @@ class BackendParity : public ::testing::TestWithParam<BackendCase> {
   RunReport run_on_backend(RunConfig cfg) {
     apply_backend_case(cfg, GetParam());
     cfg.thread_timeout = 60s;
-    return run(cfg);
+    const auto rep = run(cfg);
+    // Every parity scenario must pass the shared invariant oracle (the same
+    // verdict code the fuzzer and the seed-sweep property test call);
+    // eps-agreement stays a per-case expectation since round budgets differ.
+    oracle::Expect expect;
+    expect.require_agreement = false;
+    const auto v = oracle::check_run(cfg, rep, expect);
+    EXPECT_TRUE(v.ok) << v.summary();
+    return rep;
   }
 };
 

@@ -227,6 +227,46 @@ TEST(Envelope, TruncationTotality) {
   }
 }
 
+TEST(Envelope, OverlongVarintCannotAliasInstanceId) {
+  // Fuzz-surfaced decoder gap (PR 10): LEB128 payload bits at or above bit 64
+  // used to wrap modulo 2^64, so a forged 10-byte varint encoding
+  // instance + 2^64 decoded to the small instance id — a peer could smuggle
+  // traffic into instance 7 through bytes that no honest encoder emits.
+  // The reader now rejects any 10th byte carrying bits past bit 63.
+  const Bytes inner = encode_round(RoundMsg{1, 2.0, 0});
+  Bytes forged{static_cast<std::byte>(net::kEnvelopeTag)};
+  // varint for 7 + 2^64: 0x87, eight 0x80 continuations, then 0x02 (bit 64).
+  forged.push_back(static_cast<std::byte>(0x87));
+  for (int i = 0; i < 8; ++i) forged.push_back(static_cast<std::byte>(0x80));
+  forged.push_back(static_cast<std::byte>(0x02));
+  forged.insert(forged.end(), inner.begin(), inner.end());
+  EXPECT_FALSE(net::decode_envelope(forged).has_value());
+
+  // The honest canonical encoding of instance 7 still decodes, of course.
+  const auto ok = net::decode_envelope(net::encode_envelope(7, inner));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->instance, 7u);
+
+  // Same wrap through a protocol-frame varint (ROUND's round field): total
+  // rejection, no exception.
+  Bytes round_forged{static_cast<std::byte>(MsgType::kRound)};
+  round_forged.push_back(static_cast<std::byte>(0x81));
+  for (int i = 0; i < 8; ++i) {
+    round_forged.push_back(static_cast<std::byte>(0x80));
+  }
+  round_forged.push_back(static_cast<std::byte>(0x02));
+  for (int i = 0; i < 8; ++i) round_forged.push_back(std::byte{});  // value
+  round_forged.push_back(std::byte{});                              // budget
+  EXPECT_FALSE(decode_round(round_forged).has_value());
+
+  // UINT64_MAX itself is representable and must keep round-tripping: its
+  // 10th byte is 0x01, which carries only bit 63.
+  ByteWriter w;
+  w.put_varint(~0ull);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_varint(), ~0ull);
+}
+
 TEST(Envelope, BatchRefusesNesting) {
   const Bytes env = net::encode_envelope(0, encode_done(DoneMsg{1, 2.0}));
   const Bytes packet = net::encode_batch(std::vector<Bytes>{env});

@@ -107,6 +107,28 @@ TEST(Bytes, VarintCompactness) {
   EXPECT_EQ(w2.bytes().size(), 2u);
 }
 
+TEST(Bytes, VarintRejectsBitsPast63) {
+  // Fuzz-surfaced gap (PR 10): a 10-byte LEB128 whose final byte carries
+  // payload bits at or above bit 64 used to wrap modulo 2^64, letting a
+  // forged overlong encoding alias a small value.  The honest encoder never
+  // emits more than bit 63 in the 10th byte, so the reader now rejects any
+  // 10th byte with bits other than 0x01 set.
+  Bytes forged;
+  forged.push_back(static_cast<std::byte>(0x81));  // low bits of "1 + 2^64"
+  for (int i = 0; i < 8; ++i) forged.push_back(static_cast<std::byte>(0x80));
+  forged.push_back(static_cast<std::byte>(0x02));  // bit 64: out of range
+  ByteReader r(forged);
+  EXPECT_THROW(r.get_varint(), std::invalid_argument);
+
+  // The boundary value UINT64_MAX (10th byte 0x01, bit 63 only) stays legal.
+  ByteWriter w;
+  w.put_varint(~0ull);
+  EXPECT_EQ(w.bytes().size(), 10u);
+  ByteReader ok(w.bytes());
+  EXPECT_EQ(ok.get_varint(), ~0ull);
+  EXPECT_TRUE(ok.done());
+}
+
 TEST(Bytes, F64RoundTrip) {
   for (double v : {0.0, -1.5, 3.141592653589793, 1e-300, -1e300,
                    std::numeric_limits<double>::infinity()}) {

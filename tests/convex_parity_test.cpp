@@ -14,6 +14,7 @@
 #include "backend_matrix.hpp"
 #include "harness/harness.hpp"
 #include "harness/run_many.hpp"
+#include "invariant_oracle.hpp"
 
 namespace apxa::harness {
 namespace {
@@ -56,7 +57,14 @@ class ConvexParity : public ::testing::TestWithParam<BackendCase> {
   VectorRunReport run_on_backend(VectorRunConfig cfg) {
     apply_backend_case(cfg, GetParam());
     cfg.thread_timeout = 60s;
-    return run(cfg);
+    const auto rep = run(cfg);
+    // Shared invariant oracle (same code the fuzzer and the seed-sweep
+    // property test call); eps-agreement stays a per-case expectation.
+    oracle::Expect expect;
+    expect.require_agreement = false;
+    const auto v = oracle::check_run(cfg, rep, expect);
+    EXPECT_TRUE(v.ok) << v.summary();
+    return rep;
   }
 };
 

@@ -1,0 +1,83 @@
+// Corpus-replay regression suite: every committed fuzz input replays clean
+// through its target on every build, with any compiler — no fuzzing
+// toolchain involved.  A target that crashes or trips a property here takes
+// the whole binary down, which is exactly the point: once a fuzzer (or a
+// hand-written forgery) lands in fuzz/corpus/, it is pinned forever.
+//
+// On top of the committed corpus, each byte-level target gets a deterministic
+// random smoke (splitmix64 buffers) so a build without ENABLE_FUZZING still
+// pushes a few hundred arbitrary byte strings through every decoder.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "targets.hpp"
+
+namespace apxa::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef APXA_FUZZ_CORPUS_DIR
+#error "tests/CMakeLists.txt must define APXA_FUZZ_CORPUS_DIR"
+#endif
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+class CorpusReplay : public ::testing::TestWithParam<TargetEntry> {};
+
+TEST_P(CorpusReplay, CommittedInputsReplayClean) {
+  const TargetEntry& target = GetParam();
+  const fs::path dir = fs::path(APXA_FUZZ_CORPUS_DIR) / target.name;
+  ASSERT_TRUE(fs::is_directory(dir))
+      << "no committed corpus at " << dir
+      << " — every fuzz target ships seeds (fuzz/gen_corpus.cpp)";
+  std::size_t replayed = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    SCOPED_TRACE(entry.path().string());
+    std::ifstream f(entry.path(), std::ios::binary);
+    ASSERT_TRUE(f.good());
+    std::vector<char> buf((std::istreambuf_iterator<char>(f)),
+                          std::istreambuf_iterator<char>());
+    EXPECT_EQ(0, target.fn(reinterpret_cast<const std::uint8_t*>(buf.data()),
+                           buf.size()));
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 2u) << "corpus for " << target.name << " looks empty";
+}
+
+TEST_P(CorpusReplay, RandomSmoke) {
+  const TargetEntry& target = GetParam();
+  // The state-machine target runs a whole simulation per input; a handful is
+  // plenty here (the seed-sweep suite covers it in depth).
+  const bool deep = std::string_view(target.name) == "fuzz_state_machine" ||
+                    std::string_view(target.name) == "fuzz_link_pair";
+  const std::uint64_t iters = deep ? 16 : 512;
+  std::uint64_t state = 0xa9c4a0full ^ std::string_view(target.name).size();
+  std::vector<std::uint8_t> buf;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    buf.resize(splitmix64(state) % 257);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(splitmix64(state));
+    EXPECT_EQ(0, target.fn(buf.data(), buf.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, CorpusReplay, ::testing::ValuesIn(kTargets),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace apxa::fuzz

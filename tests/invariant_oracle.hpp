@@ -1,0 +1,271 @@
+// Shared invariant oracle for approximate-agreement executions.
+//
+// One place that states what a finished run is ALLOWED to look like, so the
+// parity suites, the randomized seed-sweep property test
+// (invariant_fuzz_seed_test.cpp) and the libFuzzer state-machine target
+// (fuzz/targets/state_machine_target.cpp) all judge executions by the same
+// rules instead of each re-implementing a subset of the checks:
+//
+//   liveness       — the run terminated for a good reason (predicate /
+//                    drained queue, never budget exhaustion or timeout) and
+//                    every correct party produced an output;
+//   validity       — every correct output lies in the hull (scalar) / box
+//                    (vector) of the non-byzantine parties' inputs,
+//                    RE-DERIVED here from the config, independent of the
+//                    harness verdict flags, which must agree;
+//   convexity      — convex protocols additionally keep outputs inside the
+//                    honest convex hull (trusting the harness's LP verdict,
+//                    which the safe-area suite pins separately);
+//   eps-agreement  — correct outputs differ by at most epsilon; enforced
+//                    only when the caller budgeted enough rounds
+//                    (Expect::require_agreement), consistency of the
+//                    harness's own agreement flag is checked regardless;
+//   view overlap   — kVectorConvexRB must keep >= n - t common entries
+//                    between any two correct frozen views;
+//   trace sanity   — honest per-round spreads never leave the honest input
+//                    hull (a round value escaping the hull would show here
+//                    even if the final outputs sneak back inside).
+//
+// Header-only and gtest-free on purpose: the fuzz targets link it into
+// standalone libFuzzer binaries where pulling in a test framework would be
+// dead weight.  Test code wraps the verdict in EXPECT_TRUE(v.ok) << v.summary().
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/multiset_ops.hpp"
+#include "geom/geom.hpp"
+#include "harness/build.hpp"
+#include "harness/scenario.hpp"
+
+namespace apxa::oracle {
+
+/// Numerical slack for hull-membership and agreement comparisons — matches
+/// the tolerances harness::finalize uses for its own verdicts.
+inline constexpr double kEps = 1e-9;
+inline constexpr double kAgreementSlack = 1e-12;
+
+struct Verdict {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string what) {
+    ok = false;
+    violations.push_back(std::move(what));
+  }
+
+  /// All violations, one per line — ready for a gtest failure message or a
+  /// fuzzer crash report.
+  [[nodiscard]] std::string summary() const {
+    if (ok) return "invariants hold";
+    std::ostringstream os;
+    os << violations.size() << " invariant violation(s):";
+    for (const auto& v : violations) os << "\n  - " << v;
+    return os.str();
+  }
+};
+
+/// What the caller is entitled to expect from this particular run.
+struct Expect {
+  /// The run was budgeted with enough rounds to reach epsilon, so
+  /// eps-agreement is a hard invariant (not merely "gap is consistent with
+  /// the reported flag").
+  bool require_agreement = true;
+  /// Every correct party must have decided.  Disable for kLive horizons,
+  /// where no party ever outputs by design.
+  bool require_liveness = true;
+};
+
+namespace detail {
+
+inline bool good_status(net::RunStatus s) {
+  return s == net::RunStatus::kPredicateSatisfied ||
+         s == net::RunStatus::kQueueDrained;
+}
+
+inline std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace detail
+
+/// Judge a finished scalar run against the config that produced it.
+inline Verdict check_run(const harness::RunConfig& cfg,
+                         const harness::RunReport& rep, Expect e = {}) {
+  Verdict v;
+  const auto byz = harness::byzantine_ids(cfg);
+
+  // Liveness: a good terminal status, and (unless waived) everyone correct
+  // decided.  Correct parties = n minus at most the declared faults.
+  if (!detail::good_status(rep.status)) {
+    v.fail("bad terminal status " +
+           std::to_string(static_cast<int>(rep.status)));
+  }
+  if (e.require_liveness && !rep.all_output) {
+    v.fail("not every correct party produced an output");
+  }
+  const std::size_t min_correct =
+      cfg.params.n - std::min<std::size_t>(cfg.params.n,
+                                           cfg.crashes.size() + byz.size());
+  if (e.require_liveness && rep.outputs.size() < min_correct) {
+    v.fail("only " + std::to_string(rep.outputs.size()) + " outputs, expected >= " +
+           std::to_string(min_correct));
+  }
+
+  // Validity, re-derived: every output inside the hull of the non-byzantine
+  // inputs (crashed parties' genuine inputs legitimately bound outputs).
+  std::vector<double> honest;
+  for (ProcessId p = 0; p < cfg.params.n; ++p) {
+    if (!byz.contains(p)) honest.push_back(cfg.inputs[p]);
+  }
+  const core::Interval hull = core::hull_of(honest);
+  for (double y : rep.outputs) {
+    if (!std::isfinite(y)) v.fail("non-finite output " + detail::fmt(y));
+    if (!hull.contains(y, kEps)) {
+      v.fail("output " + detail::fmt(y) + " escapes honest hull [" +
+             detail::fmt(hull.lo) + ", " + detail::fmt(hull.hi) + "]");
+    }
+  }
+  if (!rep.outputs.empty() && !rep.validity_ok) {
+    v.fail("harness validity_ok is false");
+  }
+
+  // Agreement: recompute the worst pairwise gap and cross-check the report's
+  // own flag; enforce the epsilon bound only when rounds were budgeted.
+  double gap = 0.0;
+  for (double a : rep.outputs) {
+    for (double b : rep.outputs) gap = std::max(gap, std::abs(a - b));
+  }
+  if (std::abs(gap - rep.worst_pair_gap) > kEps) {
+    v.fail("reported worst_pair_gap " + detail::fmt(rep.worst_pair_gap) +
+           " != recomputed " + detail::fmt(gap));
+  }
+  if (rep.agreement_ok != (rep.worst_pair_gap <= cfg.epsilon + kAgreementSlack)) {
+    v.fail("agreement_ok flag inconsistent with worst_pair_gap");
+  }
+  if (e.require_agreement && gap > cfg.epsilon + kEps) {
+    v.fail("eps-agreement failed: gap " + detail::fmt(gap) + " > eps " +
+           detail::fmt(cfg.epsilon));
+  }
+
+  // Trace sanity: no round's honest spread may exceed the honest hull width
+  // — intermediate values outside the hull would inflate the spread past it.
+  for (double s : rep.spread_by_round) {
+    if (s > hull.width() + kEps) {
+      v.fail("round spread " + detail::fmt(s) + " exceeds honest hull width " +
+             detail::fmt(hull.width()));
+    }
+  }
+  return v;
+}
+
+/// Judge a finished vector run.  Adds box validity, convex-hull validity for
+/// the convex protocols, and the view-overlap bound for kVectorConvexRB.
+inline Verdict check_run(const harness::VectorRunConfig& cfg,
+                         const harness::VectorRunReport& rep, Expect e = {}) {
+  Verdict v;
+  const auto byz = harness::byzantine_ids(cfg);
+  const bool convex = cfg.protocol == harness::ProtocolKind::kVectorConvex ||
+                      cfg.protocol == harness::ProtocolKind::kVectorConvexRB;
+
+  if (!detail::good_status(rep.status)) {
+    v.fail("bad terminal status " +
+           std::to_string(static_cast<int>(rep.status)));
+  }
+  if (e.require_liveness && !rep.all_output) {
+    v.fail("not every correct party produced an output");
+  }
+  const std::size_t min_correct =
+      cfg.params.n - std::min<std::size_t>(cfg.params.n,
+                                           cfg.crashes.size() + byz.size());
+  if (e.require_liveness && rep.outputs.size() < min_correct) {
+    v.fail("only " + std::to_string(rep.outputs.size()) + " outputs, expected >= " +
+           std::to_string(min_correct));
+  }
+
+  // Box validity, re-derived from the honest inputs.
+  std::vector<std::vector<double>> honest;
+  for (ProcessId p = 0; p < cfg.params.n; ++p) {
+    if (!byz.contains(p)) honest.push_back(cfg.inputs[p]);
+  }
+  const geom::Box box = geom::box_hull(honest);
+  for (const auto& y : rep.outputs) {
+    if (y.size() != cfg.dim) {
+      v.fail("output dimension " + std::to_string(y.size()) + " != " +
+             std::to_string(cfg.dim));
+      continue;
+    }
+    for (double c : y) {
+      if (!std::isfinite(c)) v.fail("non-finite output coordinate");
+    }
+    if (!box.contains(y, kEps)) v.fail("output escapes the honest input box");
+  }
+  if (!rep.outputs.empty() && !rep.box_validity_ok) {
+    v.fail("harness box_validity_ok is false");
+  }
+
+  // Convex validity: required for the safe-area protocols; on the others it
+  // is a diagnostic (laundering legitimately escapes the hull).  The
+  // convex_validity_ok flag must agree with the escape count either way.
+  if (convex && !rep.convex_validity_ok) {
+    v.fail("convex protocol produced " +
+           std::to_string(rep.outputs_outside_hull) +
+           " output(s) outside the honest convex hull");
+  }
+  if (rep.convex_validity_ok != (rep.outputs_outside_hull == 0)) {
+    v.fail("convex_validity_ok flag inconsistent with outputs_outside_hull");
+  }
+
+  // Agreement in L-infinity.
+  double gap = 0.0;
+  for (const auto& a : rep.outputs) {
+    for (const auto& b : rep.outputs) {
+      if (a.size() != b.size()) continue;
+      for (std::size_t c = 0; c < a.size(); ++c) {
+        gap = std::max(gap, std::abs(a[c] - b[c]));
+      }
+    }
+  }
+  if (std::abs(gap - rep.worst_linf_gap) > kEps) {
+    v.fail("reported worst_linf_gap " + detail::fmt(rep.worst_linf_gap) +
+           " != recomputed " + detail::fmt(gap));
+  }
+  if (rep.agreement_ok != (rep.worst_linf_gap <= cfg.epsilon + kAgreementSlack)) {
+    v.fail("agreement_ok flag inconsistent with worst_linf_gap");
+  }
+  if (e.require_agreement && gap > cfg.epsilon + kEps) {
+    v.fail("L-inf eps-agreement failed: gap " + detail::fmt(gap) + " > eps " +
+           detail::fmt(cfg.epsilon));
+  }
+
+  // View overlap: the property view equalization buys.  Quorum collect is
+  // allowed to lose it (that separation is pinned elsewhere); the RB collect
+  // protocol never is.
+  if (cfg.protocol == harness::ProtocolKind::kVectorConvexRB &&
+      rep.view_overlap_measured && !rep.view_overlap_ok) {
+    v.fail("view overlap " + std::to_string(rep.view_overlap_min) +
+           " below quorum " + std::to_string(cfg.params.quorum()));
+  }
+
+  // Trace sanity: honest per-round L-inf spreads bounded by the widest box
+  // side.
+  double box_width = 0.0;
+  for (std::size_t c = 0; c < box.lo.size(); ++c) {
+    box_width = std::max(box_width, box.hi[c] - box.lo[c]);
+  }
+  for (double s : rep.linf_spread_by_round) {
+    if (s > box_width + kEps) {
+      v.fail("round L-inf spread " + detail::fmt(s) +
+             " exceeds honest box width " + detail::fmt(box_width));
+    }
+  }
+  return v;
+}
+
+}  // namespace apxa::oracle

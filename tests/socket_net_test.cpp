@@ -192,7 +192,8 @@ TEST(PeerLink, GarbageDatagramsAreCountedNeverThrown) {
 
 TEST(PeerLink, ForgedAckCountIsClamped) {
   // An ACK frame claiming more entries than the datagram holds must not
-  // over-read; whatever decodes cleanly is consumed, the rest ignored.
+  // over-read; the whole frame is rejected as malformed — acks apply only
+  // after the frame validates end to end.
   PeerLink sender;
   (void)sender.make_data(payload_of({1}), t0());
   Bytes forged = {static_cast<std::byte>(netio::kAckTag),
@@ -200,6 +201,45 @@ TEST(PeerLink, ForgedAckCountIsClamped) {
   std::vector<Delivered> out;
   EXPECT_NO_THROW(sender.on_datagram(forged, t0(), out));
   EXPECT_EQ(sender.unacked(), 1u);  // nothing legitimately acked
+  EXPECT_EQ(sender.stats().malformed, 1u);
+}
+
+TEST(PeerLink, TruncatedAckListLeavesQueueIntact) {
+  // Fuzz-surfaced gap (PR 10): DATA frames used to apply piggybacked acks as
+  // they parsed, so a frame whose ack list claimed 3 entries but truncated
+  // after 1 would still retire that first sequence number from the resend
+  // queue before the frame was rejected.  Parsing is now two-phase: acks are
+  // collected first and applied only once the whole frame validates, so a
+  // truncated forgery must leave the queue exactly as it was.
+  PeerLink sender;
+  (void)sender.make_data(payload_of({1}), t0());  // seq 1 in flight
+  (void)sender.make_data(payload_of({2}), t0());  // seq 2 in flight
+  ASSERT_EQ(sender.unacked(), 2u);
+
+  // [kDataTag][seq=1][ts=0][n_acks=3][ack=1]  — list ends 2 entries short.
+  const Bytes forged = {static_cast<std::byte>(netio::kDataTag),
+                        static_cast<std::byte>(1), static_cast<std::byte>(0),
+                        static_cast<std::byte>(3), static_cast<std::byte>(1)};
+  std::vector<Delivered> out;
+  EXPECT_NO_THROW(sender.on_datagram(forged, t0(), out));
+  EXPECT_TRUE(out.empty()) << "a malformed frame must deliver nothing";
+  EXPECT_EQ(sender.unacked(), 2u) << "partial ack list leaked into the queue";
+  EXPECT_EQ(sender.stats().malformed, 1u);
+}
+
+TEST(PeerLink, PureAckWithTrailingBytesIsRejected) {
+  // A standalone ACK frame must account for every byte: trailing garbage
+  // after the declared ack list means the frame is forged or corrupted, and
+  // none of its acks may be applied.
+  PeerLink sender;
+  (void)sender.make_data(payload_of({1}), t0());  // seq 1 in flight
+  const Bytes forged = {static_cast<std::byte>(netio::kAckTag),
+                        static_cast<std::byte>(1), static_cast<std::byte>(1),
+                        static_cast<std::byte>(0x7f)};  // valid ack + garbage
+  std::vector<Delivered> out;
+  EXPECT_NO_THROW(sender.on_datagram(forged, t0(), out));
+  EXPECT_EQ(sender.unacked(), 1u) << "acks from an oversized frame applied";
+  EXPECT_EQ(sender.stats().malformed, 1u);
 }
 
 // --- FaultShim ---------------------------------------------------------------

@@ -16,6 +16,7 @@
 #include "exec/thread_backend.hpp"
 #include "harness/build.hpp"
 #include "harness/harness.hpp"
+#include "invariant_oracle.hpp"
 #include "harness/run_many.hpp"
 #include "harness/session.hpp"
 
@@ -35,7 +36,14 @@ class VectorParity : public ::testing::TestWithParam<BackendCase> {
   VectorRunReport run_on_backend(VectorRunConfig cfg) {
     apply_backend_case(cfg, GetParam());
     cfg.thread_timeout = 60s;
-    return run(cfg);
+    const auto rep = run(cfg);
+    // Shared invariant oracle (same code the fuzzer and the seed-sweep
+    // property test call); eps-agreement stays a per-case expectation.
+    oracle::Expect expect;
+    expect.require_agreement = false;
+    const auto v = oracle::check_run(cfg, rep, expect);
+    EXPECT_TRUE(v.ok) << v.summary();
+    return rep;
   }
 };
 
